@@ -1,0 +1,52 @@
+// Command memosim reproduces the paper's evaluation: it runs any (or all)
+// of the tables and figures of §3 and prints them in the paper's layout.
+//
+// Usage:
+//
+//	memosim [-scale tiny|quick|full] [-run all|table5|...|figure4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"memotable"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "input scale: tiny, quick or full")
+	runFlag := flag.String("run", "all", "experiment to run: all, or one of "+
+		strings.Join(memotable.Experiments(), ", "))
+	flag.Parse()
+
+	var scale memotable.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = memotable.Tiny
+	case "quick":
+		scale = memotable.Quick
+	case "full":
+		scale = memotable.Full
+	default:
+		fmt.Fprintf(os.Stderr, "memosim: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	names := memotable.Experiments()
+	if *runFlag != "all" {
+		names = strings.Split(*runFlag, ",")
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := memotable.RunExperiment(strings.TrimSpace(name), scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memosim:", err)
+			os.Exit(2)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,75 @@
+// Command tracecap captures the operand trace of one workload to a binary
+// trace file — the role Shade's instrumented execution played for the
+// paper. The file can be replayed through arbitrary MEMO-TABLE
+// configurations with tracereplay.
+//
+// Usage:
+//
+//	tracecap -out trace.mtrc -app vspatial -input mandrill [-maxdim 128]
+//	tracecap -out trace.mtrc -kernel hydro2d
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memotable"
+	"memotable/internal/imaging"
+	"memotable/internal/scientific"
+	"memotable/internal/workloads"
+)
+
+func main() {
+	out := flag.String("out", "", "output trace file (required)")
+	app := flag.String("app", "", "Multi-Media application to trace")
+	input := flag.String("input", "mandrill", "catalog input image for -app")
+	kernel := flag.String("kernel", "", "scientific kernel to trace")
+	maxDim := flag.Int("maxdim", 128, "decimate the input to this many pixels per side")
+	flag.Parse()
+
+	if *out == "" || (*app == "") == (*kernel == "") {
+		fmt.Fprintln(os.Stderr, "tracecap: need -out and exactly one of -app/-kernel")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var run func(*memotable.Probe)
+	switch {
+	case *app != "":
+		a, err := workloads.Lookup(*app)
+		if err != nil {
+			fail(err)
+		}
+		in := imaging.Find(*input)
+		if in == nil {
+			fail(fmt.Errorf("unknown input %q", *input))
+		}
+		img := in.Image.Decimate(*maxDim)
+		run = func(p *memotable.Probe) { a.Run(p, img) }
+	default:
+		k, err := scientific.Lookup(*kernel)
+		if err != nil {
+			fail(err)
+		}
+		run = k.Run
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	n, err := memotable.Capture(f, run)
+	if err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("captured %d events to %s\n", n, *out)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracecap:", err)
+	os.Exit(1)
+}

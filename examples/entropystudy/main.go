@@ -1,0 +1,60 @@
+// Entropystudy: generate images across the entropy range and reproduce
+// the paper's Figure 2 relation — MEMO-TABLE hit ratios fall roughly
+// linearly with image entropy (about 5% per bit).
+//
+//	go run ./examples/entropystudy
+package main
+
+import (
+	"fmt"
+
+	"memotable"
+	"memotable/internal/fitting"
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/probe"
+	"memotable/internal/trace"
+	"memotable/internal/workloads"
+)
+
+func main() {
+	app, err := workloads.Lookup("vsurf")
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("vsurf (surface normals) over synthetic images, 32/4 fdiv MEMO-TABLE")
+	fmt.Printf("%-10s %8s %8s %10s\n", "levels", "entropy", "8x8 ent", "fdiv ratio")
+
+	var xs, ys []float64
+	for _, levels := range []int{4, 8, 16, 32, 64, 128, 256} {
+		img := imaging.Plasma(96, 96, int64(levels), 0.62)
+		img = imaging.Blend(img, imaging.Noise(96, 96, int64(levels)+99), 0.25)
+		img.Quantize(levels)
+		img.Kind = imaging.Byte
+
+		table := memo.New(isa.OpFDiv, memotable.Paper32x4())
+		unit := memo.NewUnit(table, memotable.NonTrivialOnly, nil)
+		sink := trace.SinkFunc(func(ev trace.Event) {
+			if ev.Op == isa.OpFDiv {
+				unit.Apply(ev.A, ev.B)
+			}
+		})
+		app.Run(probe.New(sink), img)
+
+		e := img.Entropy()
+		hr := table.Stats().HitRatio()
+		fmt.Printf("%-10d %8.2f %8.2f %10.2f\n", levels, e, img.WindowEntropy(8), hr)
+		xs = append(xs, e)
+		ys = append(ys, hr)
+	}
+
+	p, _, err := fitting.Levenberg(fitting.Line, xs, ys, []float64{0.5, -0.05})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nMarquardt-Levenberg fit: hit ratio = %.3f %+.3f * entropy\n", p[0], p[1])
+	fmt.Printf("=> about a %.1f%% hit-ratio decrease per added bit of entropy\n", -100*p[1])
+	fmt.Println("   (the paper's Figure 2 observes ~5% per bit)")
+}

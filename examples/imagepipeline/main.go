@@ -1,0 +1,63 @@
+// Imagepipeline: run a real image-processing application (the vspatial
+// feature extractor) on a synthetic photograph through the full cycle
+// model, with and without MEMO-TABLEs, and report the whole-application
+// speedup — the paper's Table 11–13 methodology on one workload.
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+
+	"memotable"
+	"memotable/internal/cpu"
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/workloads"
+)
+
+func main() {
+	input := imaging.Find("mandrill").Image.Decimate(128)
+	fmt.Printf("input: mandrill stand-in, %dx%d, entropy %.2f bits\n",
+		input.W, input.H, input.Entropy())
+
+	app, err := workloads.Lookup("vspatial")
+	if err != nil {
+		panic(err)
+	}
+
+	// Two machines, one event stream: a baseline and a memo-enhanced
+	// in-order core with fmul=3 / fdiv=13 latencies and a two-level
+	// cache hierarchy.
+	proc := isa.FastFP()
+	baseline := cpu.New(proc)
+	enhanced := cpu.New(proc,
+		memo.NewUnit(memo.New(isa.OpIMul, memo.Paper32x4()), memo.NonTrivialOnly, nil),
+		memo.NewUnit(memo.New(isa.OpFMul, memo.Paper32x4()), memo.NonTrivialOnly, nil),
+		memo.NewUnit(memo.New(isa.OpFDiv, memo.Paper32x4()), memo.NonTrivialOnly, nil),
+	)
+	probe := memotable.NewProbe(baseline, enhanced)
+	out := app.Run(probe, input)
+	fmt.Printf("output: %dx%dx%d feature planes\n\n", out.W, out.H, out.Bands)
+
+	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "memo-enhanced")
+	fmt.Printf("%-22s %14d %14d\n", "total cycles", baseline.Cycles(), enhanced.Cycles())
+	for _, op := range []isa.Op{isa.OpIMul, isa.OpFMul, isa.OpFDiv} {
+		fmt.Printf("%-22s %14d %14d\n", op.String()+" cycles",
+			baseline.ClassCycles(op), enhanced.ClassCycles(op))
+	}
+	fmt.Printf("%-22s %14s %14d\n", "cycles saved", "-", enhanced.SavedCycles())
+	fmt.Printf("\nspeedup: %.3f\n",
+		float64(baseline.Cycles())/float64(enhanced.Cycles()))
+
+	fmt.Println("\nper-table hit ratios (32 entries, 4-way):")
+	for _, op := range []isa.Op{isa.OpIMul, isa.OpFMul, isa.OpFDiv} {
+		st := enhanced.Unit(op).Table().Stats()
+		fmt.Printf("  %-6s %.2f (%d of %d lookups)\n",
+			op, st.HitRatio(), st.Hits, st.Lookups)
+	}
+	l1, l2 := baseline.L1Stats(), baseline.L2Stats()
+	fmt.Printf("\nmemory hierarchy: L1 %.1f%% hits, L2 %.1f%% hits\n",
+		100*l1.HitRatio(), 100*l2.HitRatio())
+}

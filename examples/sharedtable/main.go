@@ -1,0 +1,138 @@
+// Sharedtable: the §2.3 extension. A processor with two fp dividers can
+// instead ship one divider plus a multi-ported MEMO-TABLE interface: the
+// second "divider" is just a table port, and a miss there stalls until
+// the real divider frees up. This example compares three machines on the
+// same dual-issue division stream:
+//
+//  1. two dividers, private MEMO-TABLE each (recurring work computed twice,
+//     landing in both tables);
+//
+//  2. two dividers sharing one multi-ported table;
+//
+//  3. one divider + one table port (the hardware-saving variant).
+//
+//     go run ./examples/sharedtable
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"memotable"
+	"memotable/internal/imaging"
+)
+
+// divLatency is the divider's cycle count (Table 1 mid-range).
+const divLatency = 22
+
+// stream builds a dual-issue division workload from quantized image rows:
+// even pixels go to unit 0, odd pixels to unit 1, so recurring ratios are
+// scattered across both units — the situation §2.3 describes.
+func stream() (a, b [][2]float64) {
+	img := imaging.Find("airport1").Image.Decimate(96)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x+1 < img.W; x += 2 {
+			den := 1 + img.At(x+1, y, 0)
+			a = append(a, [2]float64{img.At(x, y, 0), den})
+			b = append(b, [2]float64{img.At(x+1, y, 0), den})
+		}
+	}
+	return a, b
+}
+
+func main() {
+	evens, odds := stream()
+
+	// Machine 1: private tables.
+	t0 := memotable.NewTable(memotable.FDiv, memotable.Paper32x4())
+	t1 := memotable.NewTable(memotable.FDiv, memotable.Paper32x4())
+	var privCycles uint64
+	for i := range evens {
+		c0 := access(t0, evens[i])
+		c1 := access(t1, odds[i])
+		privCycles += maxU(c0, c1) // dual issue: the pair retires together
+	}
+	priv0, priv1 := t0.Stats(), t1.Stats()
+
+	// Machine 2: one shared multi-ported table, two dividers.
+	shared := memotable.NewShared(
+		memotable.NewTable(memotable.FDiv, memotable.Config{Entries: 64, Ways: 4}), 2)
+	var sharedCycles uint64
+	for i := range evens {
+		c0 := accessShared(shared, evens[i])
+		c1 := accessShared(shared, odds[i])
+		sharedCycles += maxU(c0, c1)
+	}
+	sharedStats := shared.Stats()
+
+	// Machine 3: one divider + one table port. The port's misses queue on
+	// the single divider (serialized), hits retire in one cycle.
+	one := memotable.NewShared(
+		memotable.NewTable(memotable.FDiv, memotable.Config{Entries: 64, Ways: 4}), 2)
+	var oneCycles uint64
+	for i := range evens {
+		c0 := accessShared(one, evens[i]) // the real divider's op
+		c1 := accessShared(one, odds[i])  // the port's op
+		if c0 == divLatency && c1 == divLatency {
+			oneCycles += 2 * divLatency // both missed: serialize on one unit
+		} else {
+			oneCycles += maxU(c0, c1)
+		}
+	}
+	oneStats := one.Stats()
+
+	fmt.Printf("dual-issue fp division stream, %d pairs, %d-cycle divider\n\n",
+		len(evens), divLatency)
+	fmt.Printf("%-34s %12s %10s\n", "machine", "cycles", "hit ratio")
+	fmt.Printf("%-34s %12d %10.2f\n", "2 dividers, private 32/4 tables",
+		privCycles, combined(priv0, priv1))
+	fmt.Printf("%-34s %12d %10.2f\n", "2 dividers, shared 64/4 table",
+		sharedCycles, sharedStats.HitRatio())
+	fmt.Printf("%-34s %12d %10.2f\n", "1 divider + table port (shared)",
+		oneCycles, oneStats.HitRatio())
+	fmt.Printf("\nsharing gain over private tables: %.1f%% fewer cycles\n",
+		100*(1-float64(sharedCycles)/float64(privCycles)))
+	fmt.Printf("1-divider machine vs 2-divider private: %.1f%% more cycles,\n",
+		100*(float64(oneCycles)/float64(privCycles)-1))
+	fmt.Println("but saves an entire SRT divider's area (§2.4: larger than the table).")
+}
+
+// access runs one division through a private table, returning its cycles.
+func access(t *memotable.Table, pair [2]float64) uint64 {
+	a, b := math.Float64bits(pair[0]), math.Float64bits(pair[1])
+	_, hit := t.Access(a, b, func() uint64 {
+		return math.Float64bits(pair[0] / pair[1])
+	})
+	if hit {
+		return 1
+	}
+	return divLatency
+}
+
+// accessShared is access through a shared table port.
+func accessShared(s *memotable.Shared, pair [2]float64) uint64 {
+	a, b := math.Float64bits(pair[0]), math.Float64bits(pair[1])
+	_, hit := s.Access(a, b, func() uint64 {
+		return math.Float64bits(pair[0] / pair[1])
+	})
+	if hit {
+		return 1
+	}
+	return divLatency
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// combined merges two private tables' statistics into one hit ratio.
+func combined(a, b memotable.Stats) float64 {
+	lookups := a.Lookups + b.Lookups
+	if lookups == 0 {
+		return 0
+	}
+	return float64(a.Hits+b.Hits) / float64(lookups)
+}

@@ -1,0 +1,3 @@
+module memotable
+
+go 1.22

@@ -1,0 +1,76 @@
+// Package amdahl implements the speedup algebra of the paper's §3.3.
+//
+// Amdahl's law: with a fraction FE of execution able to use an enhancement
+// that speeds that fraction up by SE,
+//
+//	T_new = T_old * ((1-FE) + FE/SE)
+//
+// For a MEMO-TABLE on a dc-cycle unit with hit ratio hr, the enhanced
+// portion runs at
+//
+//	SE = dc / ((1-hr)*dc + hr)
+//
+// since hits complete in one cycle and misses still take dc.
+package amdahl
+
+import "fmt"
+
+// SpeedupEnhanced returns SE for a dc-cycle operation memoized with hit
+// ratio hr. It panics for dc < 1 or hr outside [0, 1].
+func SpeedupEnhanced(dc int, hr float64) float64 {
+	if dc < 1 {
+		panic(fmt.Sprintf("amdahl: latency %d < 1", dc))
+	}
+	if hr < 0 || hr > 1 {
+		panic(fmt.Sprintf("amdahl: hit ratio %g outside [0,1]", hr))
+	}
+	d := float64(dc)
+	return d / ((1-hr)*d + hr)
+}
+
+// Speedup returns T_old/T_new given FE and SE. FE must lie in [0, 1] and
+// SE must be >= 1 (an enhancement cannot slow its portion down — the
+// MEMO-TABLE's failed lookup carries no penalty).
+func Speedup(fe, se float64) float64 {
+	if fe < 0 || fe > 1 {
+		panic(fmt.Sprintf("amdahl: FE %g outside [0,1]", fe))
+	}
+	if se < 1 {
+		panic(fmt.Sprintf("amdahl: SE %g < 1", se))
+	}
+	return 1 / ((1 - fe) + fe/se)
+}
+
+// NewTime returns T_new for an old time told.
+func NewTime(told, fe, se float64) float64 {
+	return told * ((1 - fe) + fe/se)
+}
+
+// Combined composes several enhanced fractions (disjoint classes, e.g. the
+// fmul and fdiv units of Table 13) into one overall speedup:
+//
+//	T_new/T_old = (1 - sum FE_i) + sum FE_i/SE_i
+func Combined(fes, ses []float64) float64 {
+	if len(fes) != len(ses) {
+		panic("amdahl: Combined length mismatch")
+	}
+	rem := 1.0
+	t := 0.0
+	for i := range fes {
+		if fes[i] < 0 || fes[i] > 1 {
+			panic(fmt.Sprintf("amdahl: FE %g outside [0,1]", fes[i]))
+		}
+		if ses[i] < 1 {
+			panic(fmt.Sprintf("amdahl: SE %g < 1", ses[i]))
+		}
+		rem -= fes[i]
+		t += fes[i] / ses[i]
+	}
+	if rem < -1e-9 {
+		panic("amdahl: enhanced fractions exceed 1")
+	}
+	if rem < 0 {
+		rem = 0
+	}
+	return 1 / (rem + t)
+}

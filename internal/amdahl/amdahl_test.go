@@ -1,0 +1,107 @@
+package amdahl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) < tol }
+
+func TestSpeedupEnhancedKnownPoints(t *testing.T) {
+	// Paper Table 11, vspatial: hr=.94, dc=13 -> SE=7.55; dc=39 -> 11.89.
+	if se := SpeedupEnhanced(13, 0.94); !close(se, 7.55, 0.01) {
+		t.Errorf("SE(13,.94) = %g, want 7.55", se)
+	}
+	if se := SpeedupEnhanced(39, 0.94); !close(se, 11.89, 0.01) {
+		t.Errorf("SE(39,.94) = %g, want 11.89", se)
+	}
+	// Table 12, venhance: hr=.57, dc=3 -> 1.61; dc=5 -> 1.84.
+	if se := SpeedupEnhanced(3, 0.57); !close(se, 1.61, 0.01) {
+		t.Errorf("SE(3,.57) = %g, want 1.61", se)
+	}
+	if se := SpeedupEnhanced(5, 0.57); !close(se, 1.84, 0.01) {
+		t.Errorf("SE(5,.57) = %g, want 1.84", se)
+	}
+}
+
+func TestSpeedupEnhancedLimits(t *testing.T) {
+	if SpeedupEnhanced(13, 0) != 1 {
+		t.Error("hr=0 must give SE=1")
+	}
+	if SpeedupEnhanced(13, 1) != 13 {
+		t.Error("hr=1 must give SE=dc")
+	}
+	mustPanic(t, func() { SpeedupEnhanced(0, 0.5) })
+	mustPanic(t, func() { SpeedupEnhanced(13, -0.1) })
+	mustPanic(t, func() { SpeedupEnhanced(13, 1.1) })
+}
+
+func TestSpeedupKnownPoints(t *testing.T) {
+	// Paper Table 11, vgauss at 39 cycles: FE=.346, SE=4.34 -> 1.36.
+	if s := Speedup(0.346, 4.34); !close(s, 1.36, 0.01) {
+		t.Errorf("Speedup = %g, want 1.36", s)
+	}
+	if Speedup(0, 5) != 1 {
+		t.Error("FE=0 must give 1")
+	}
+	if !close(Speedup(1, 5), 5, 1e-12) {
+		t.Error("FE=1 must give SE")
+	}
+	mustPanic(t, func() { Speedup(-0.1, 2) })
+	mustPanic(t, func() { Speedup(0.5, 0.9) })
+}
+
+func TestNewTime(t *testing.T) {
+	told := 1000.0
+	tnew := NewTime(told, 0.25, 2)
+	if !close(tnew, 875, 1e-9) {
+		t.Errorf("NewTime = %g", tnew)
+	}
+	if !close(told/tnew, Speedup(0.25, 2), 1e-12) {
+		t.Error("NewTime inconsistent with Speedup")
+	}
+}
+
+func TestCombined(t *testing.T) {
+	// Single class must agree with Speedup.
+	if !close(Combined([]float64{0.3}, []float64{2}), Speedup(0.3, 2), 1e-12) {
+		t.Error("Combined(1) != Speedup")
+	}
+	// Two classes: denominator (1-.2-.3) + .2/2 + .3/3 = .5+.1+.1 = .7.
+	if !close(Combined([]float64{0.2, 0.3}, []float64{2, 3}), 1/0.7, 1e-12) {
+		t.Error("Combined(2) wrong")
+	}
+	mustPanic(t, func() { Combined([]float64{0.5}, []float64{2, 3}) })
+	mustPanic(t, func() { Combined([]float64{0.7, 0.7}, []float64{2, 2}) })
+}
+
+func TestSpeedupMonotoneProperties(t *testing.T) {
+	// Higher hit ratio never reduces SE; higher FE never reduces speedup.
+	f := func(hr1, hr2, fe float64) bool {
+		h1 := math.Mod(math.Abs(hr1), 1)
+		h2 := math.Mod(math.Abs(hr2), 1)
+		fe = math.Mod(math.Abs(fe), 1)
+		if h1 > h2 {
+			h1, h2 = h2, h1
+		}
+		se1, se2 := SpeedupEnhanced(13, h1), SpeedupEnhanced(13, h2)
+		if se2 < se1 {
+			return false
+		}
+		return Speedup(fe, se2) >= Speedup(fe, se1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,193 @@
+package arith
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Multiplier is a bit-exact model of a radix-4 Booth-recoded multiplier.
+// It is the multi-cycle integer and floating-point multiplication unit that
+// a MEMO-TABLE shadows: on a table miss the pipeline waits Latency cycles
+// for this unit; on a hit the unit's computation is aborted (§2.2).
+//
+// The model is iterative — one radix-4 digit (two multiplier bits) per
+// step — and records the number of recoding steps performed, so tests and
+// ablations can relate table hit ratios to cycles actually saved.
+type Multiplier struct {
+	// Steps counts radix-4 recoding iterations performed since creation.
+	Steps uint64
+	// Ops counts multiplications performed since creation.
+	Ops uint64
+}
+
+// boothDigits is the number of radix-4 digits consumed for a 64-bit
+// multiplier operand.
+const boothDigits = 32
+
+// MulInt64 multiplies two signed 64-bit integers with radix-4 Booth
+// recoding, returning the full 128-bit product (hi:lo, two's complement).
+func (m *Multiplier) MulInt64(a, b int64) (hi, lo uint64) {
+	m.Ops++
+	// Partial products are d*a for d in {-2..2}, sign-extended to 128 bits.
+	var accHi, accLo uint64
+	ua := uint64(a)
+	// Sign extension of a to 128 bits.
+	var aHi uint64
+	if a < 0 {
+		aHi = ^uint64(0)
+	}
+	ub := uint64(b)
+	prev := uint64(0) // bit at index -1
+	for i := 0; i < boothDigits; i++ {
+		m.Steps++
+		trip := (ub>>(2*i))&3<<1 | prev
+		prev = (ub >> (2*i + 1)) & 1
+		var ppHi, ppLo uint64
+		switch trip {
+		case 0, 7: // 0
+			continue
+		case 1, 2: // +a
+			ppHi, ppLo = aHi, ua
+		case 3: // +2a
+			ppHi = aHi<<1 | ua>>63
+			ppLo = ua << 1
+		case 4: // -2a
+			ppHi = aHi<<1 | ua>>63
+			ppLo = ua << 1
+			ppHi, ppLo = neg128(ppHi, ppLo)
+		case 5, 6: // -a
+			ppHi, ppLo = neg128(aHi, ua)
+		}
+		// Shift partial product left by 2i and accumulate.
+		sh := uint(2 * i)
+		if sh >= 64 {
+			ppHi = ppLo << (sh - 64)
+			ppLo = 0
+		} else if sh > 0 {
+			ppHi = ppHi<<sh | ppLo>>(64-sh)
+			ppLo <<= sh
+		}
+		var carry uint64
+		accLo, carry = bits.Add64(accLo, ppLo, 0)
+		accHi, _ = bits.Add64(accHi, ppHi, carry)
+	}
+	return accHi, accLo
+}
+
+func neg128(hi, lo uint64) (uint64, uint64) {
+	lo = ^lo
+	hi = ^hi
+	var carry uint64
+	lo, carry = bits.Add64(lo, 1, 0)
+	hi += carry
+	return hi, lo
+}
+
+// MulUint64 multiplies two unsigned 64-bit values via the Booth datapath.
+// Both operands must fit in 63 bits (true for IEEE significands).
+func (m *Multiplier) MulUint64(a, b uint64) (hi, lo uint64) {
+	if a>>63 != 0 || b>>63 != 0 {
+		panic("arith: MulUint64 operand exceeds 63 bits")
+	}
+	return m.MulInt64(int64(a), int64(b))
+}
+
+// MulFloat64 performs an IEEE-754 double-precision multiplication with
+// round-to-nearest-even, bit-exact with the host FPU. The significand
+// product is formed on the Booth datapath.
+func (m *Multiplier) MulFloat64(a, b float64) float64 {
+	fa, fb := Unpack(a), Unpack(b)
+	sign := fa.Sign != fb.Sign
+
+	// Special operands take the unit's bypass paths.
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return quietNaN()
+	case math.IsInf(a, 0) || math.IsInf(b, 0):
+		if a == 0 || b == 0 {
+			return quietNaN() // Inf * 0
+		}
+		return Pack(Fields{Sign: sign, Exponent: ExponentMax})
+	case a == 0 || b == 0:
+		return Pack(Fields{Sign: sign})
+	}
+
+	sa, ea := normSignificand(a)
+	sb, eb := normSignificand(b)
+	hi, lo := m.MulUint64(sa, sb)
+	// Product value = (hi:lo) * 2^(ea+eb-104); hi:lo in [2^104, 2^106).
+	return composeFromWide(sign, hi, lo, ea+eb-104, false)
+}
+
+// normSignificand returns a significand in [2^52, 2^53) and exponent e such
+// that |x| = sig * 2^(e-52). Subnormal inputs are normalized. x must be
+// finite and nonzero.
+func normSignificand(x float64) (sig uint64, e int) {
+	sig, e = Significand(x)
+	for sig < HiddenBit {
+		sig <<= 1
+		e--
+	}
+	return sig, e
+}
+
+// composeFromWide builds the IEEE double  ±(hi:lo) * 2^exp2  with a single
+// round-to-nearest-even step, handling overflow to Inf and gradual
+// underflow to subnormals and zero. sticky flags discarded low-order value.
+func composeFromWide(sign bool, hi, lo uint64, exp2 int, sticky bool) float64 {
+	if hi == 0 && lo == 0 && !sticky {
+		return Pack(Fields{Sign: sign})
+	}
+	l := bitLen128(hi, lo)
+	// Unbiased exponent of the leading bit.
+	lead := l - 1 + exp2
+	biased := lead + ExponentBias
+	shift := l - 53 // bits to discard for a 53-bit significand
+	if biased <= 0 {
+		shift += 1 - biased
+		biased = 0 // subnormal (or zero) domain
+	}
+	var r uint64
+	if shift < 0 {
+		// Fewer than 53 bits available: exact left shift, no rounding.
+		r = lo << uint(-shift)
+	} else {
+		r = round128(hi, lo, uint(shift), sticky)
+	}
+	if biased == 0 {
+		// Subnormal domain. Rounding may carry into the hidden-bit
+		// position, in which case r == 2^52 and the bit pattern below
+		// naturally encodes the smallest normal.
+		if r == 0 {
+			return Pack(Fields{Sign: sign})
+		}
+		if r > HiddenBit {
+			panic("arith: subnormal rounding produced out-of-range value")
+		}
+		return packRaw(sign, 0, r)
+	}
+	if r == 1<<53 { // rounding carried out of the significand
+		r >>= 1
+		biased++
+	}
+	if biased >= ExponentMax {
+		return Pack(Fields{Sign: sign, Exponent: ExponentMax}) // ±Inf
+	}
+	return packRaw(sign, biased, r&^HiddenBit)
+}
+
+// packRaw assembles sign, biased exponent and mantissa-field bits. Unlike
+// Pack it permits the subnormal carry case where mantissa == 2^52.
+func packRaw(sign bool, biased int, mant uint64) float64 {
+	var b uint64
+	if sign {
+		b = signMask
+	}
+	b |= uint64(biased) << MantissaBits
+	b += mant // carry from mantissa into exponent is intentional
+	return math.Float64frombits(b)
+}
+
+// Latency returns the cycle count of a full-width iterative multiply on
+// this model: one cycle per radix-4 digit plus recode and final-add stages.
+func (m *Multiplier) Latency() int { return boothDigits + 2 }

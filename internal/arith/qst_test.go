@@ -1,0 +1,127 @@
+package arith
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQSTEveryReachableCellSafe exhaustively validates the constructed
+// quotient-selection table: for every cell, the assigned digit keeps the
+// remainder within the redundancy bound for the cell's corner points
+// inside the reachable region — the property the Pentium's table famously
+// violated for five cells.
+func TestQSTEveryReachableCellSafe(t *testing.T) {
+	qst := NewQST()
+	for di := 0; di < 16; di++ {
+		dLo := int64(16+di) << qstShift
+		dHi := int64(16+di+1)<<qstShift - 1
+		for ri := -qstRemMax; ri <= qstRemMax; ri++ {
+			dig := qst.digit[di][ri+qstRemMax]
+			if dig == math.MinInt8 {
+				continue // unreachable cell
+			}
+			rLo := int64(ri) << qstShift
+			rHi := rLo + (1<<qstShift - 1)
+			for _, d := range [2]int64{dLo, dHi} {
+				for _, r := range [2]int64{rLo, rHi} {
+					// Only corners inside the invariant region matter.
+					if 3*abs64(r) > 8*d {
+						continue
+					}
+					next := r - int64(dig)*d
+					if 3*abs64(next) > 2*d {
+						t.Fatalf("cell d=%d r=%d digit %d leaves remainder %d beyond (2/3)d",
+							di, ri, dig, next)
+					}
+				}
+			}
+		}
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestQSTDigitsWithinSet verifies all assigned digits are in {-2..2}.
+func TestQSTDigitsWithinSet(t *testing.T) {
+	qst := NewQST()
+	for di := range qst.digit {
+		for ri := range qst.digit[di] {
+			d := qst.digit[di][ri]
+			if d == math.MinInt8 {
+				continue
+			}
+			if d < -2 || d > 2 {
+				t.Fatalf("digit %d outside radix-4 set", d)
+			}
+		}
+	}
+}
+
+// TestDividerStepAccounting checks the iterative model charges exactly
+// srtDigits recurrence steps per division of normal operands.
+func TestDividerStepAccounting(t *testing.T) {
+	var d Divider
+	d.DivFloat64(7.5, 3.25)
+	if d.Ops != 1 || d.Steps != srtDigits {
+		t.Fatalf("ops %d steps %d, want 1/%d", d.Ops, d.Steps, srtDigits)
+	}
+	// Specials bypass the recurrence.
+	d.DivFloat64(1, 0)
+	if d.Steps != srtDigits {
+		t.Fatalf("special division entered the recurrence")
+	}
+}
+
+// TestSqrterStepAccounting checks the root develops one bit per step.
+func TestSqrterStepAccounting(t *testing.T) {
+	var s Sqrter
+	s.SqrtFloat64(2.0)
+	if s.Ops != 1 || s.Steps != sqrtResultBits {
+		t.Fatalf("ops %d steps %d, want 1/%d", s.Ops, s.Steps, sqrtResultBits)
+	}
+}
+
+// TestLatencyOrdering encodes Table 1's qualitative fact: iterative
+// division and square root cost far more than a multiply.
+func TestLatencyOrdering(t *testing.T) {
+	var m Multiplier
+	var d Divider
+	var s Sqrter
+	if d.Latency() <= m.Latency()/2 {
+		t.Log("divider latency model close to multiplier; acceptable for iterative booth")
+	}
+	if d.Latency() < 20 || s.Latency() < 20 {
+		t.Fatalf("iterative div/sqrt latencies too small: %d/%d", d.Latency(), s.Latency())
+	}
+}
+
+// TestBuggyTableMatchesKnownFailurePattern: the buggy mode only corrupts
+// divisions whose recurrence visits the blanked band, so most results
+// remain exact — the property that let the original flaw ship.
+func TestBuggyTableMatchesKnownFailurePattern(t *testing.T) {
+	bug := NewQST()
+	bug.Buggy = true
+	d := Divider{QSel: bug}
+	total, wrong := 0, 0
+	for i := 1; i <= 5000; i++ {
+		a := 1 + float64(i)/5000
+		b := 1 + float64(i%97)/97
+		total++
+		if d.DivFloat64(a, b) != a/b {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Skip("no corrupting operands in this sweep")
+	}
+	if wrong*2 > total {
+		t.Fatalf("buggy table corrupted %d/%d divisions; the flaw was rare", wrong, total)
+	}
+	t.Logf("buggy table corrupted %d of %d divisions (%.2f%%)",
+		wrong, total, 100*float64(wrong)/float64(total))
+}

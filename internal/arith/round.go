@@ -1,0 +1,95 @@
+package arith
+
+// Rounding helpers shared by the multiplier, divider and square-root units.
+// All units produce an exact (or exactly-sticky-tagged) intermediate result
+// and perform a single IEEE round-to-nearest-even step, so double rounding
+// never occurs.
+
+// roundShift64 rounds q/2^s to nearest-even. sticky indicates that bits
+// below q (already discarded upstream) were nonzero; it participates in the
+// tie decision. For s >= 64 the entire value is fractional.
+func roundShift64(q uint64, s uint, sticky bool) uint64 {
+	if s == 0 {
+		return q
+	}
+	if s >= 64 {
+		// Everything shifts out. The result rounds to 1 only if the value
+		// exceeds 1/2, or equals 1/2 with odd... result 0 would be even, so
+		// ties round down to 0. It exceeds 1/2 only when s == 64 and the top
+		// bit is set with more below.
+		if s == 64 && q>>63 == 1 && (q<<1 != 0 || sticky) {
+			return 1
+		}
+		return 0
+	}
+	kept := q >> s
+	guard := (q >> (s - 1)) & 1
+	rest := q&(1<<(s-1)-1) != 0 || sticky
+	if guard == 1 && (rest || kept&1 == 1) {
+		kept++
+	}
+	return kept
+}
+
+// round128 rounds the 128-bit value hi:lo divided by 2^s to nearest-even,
+// returning a 64-bit result. The caller guarantees the rounded result fits
+// in 64 bits. sticky marks additional discarded low-order value.
+func round128(hi, lo uint64, s uint, sticky bool) uint64 {
+	if s == 0 {
+		if hi != 0 {
+			panic("arith: round128 result overflows 64 bits")
+		}
+		return lo
+	}
+	if s >= 128 {
+		if hi != 0 || lo != 0 {
+			sticky = true
+		}
+		_ = sticky
+		return 0
+	}
+	if s > 64 {
+		if lo != 0 {
+			sticky = true
+		}
+		return roundShift64(hi, s-64, sticky)
+	}
+	if s == 64 {
+		if hi > 1<<63 { // would need 65 bits even before rounding
+			panic("arith: round128 result overflows 64 bits")
+		}
+		// Value = hi + lo/2^64.
+		kept := hi
+		guard := lo >> 63
+		rest := lo<<1 != 0 || sticky
+		if guard == 1 && (rest || kept&1 == 1) {
+			kept++
+		}
+		return kept
+	}
+	// 0 < s < 64.
+	kept := hi<<(64-s) | lo>>s
+	guard := (lo >> (s - 1)) & 1
+	rest := lo&(1<<(s-1)-1) != 0 || sticky
+	if guard == 1 && (rest || kept&1 == 1) {
+		kept++
+	}
+	return kept
+}
+
+// bitLen128 returns the bit length of hi:lo.
+func bitLen128(hi, lo uint64) int {
+	if hi != 0 {
+		return 64 + bitLen64(hi)
+	}
+	return bitLen64(lo)
+}
+
+func bitLen64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package arith
+
+import "math"
+
+// Sqrter is a bit-exact model of a digit-recurrence (restoring, one result
+// bit per iteration) floating-point square-root unit. Square root shares
+// datapath structure with SRT division and is the first of the paper's
+// "future work" targets for memoization (§4); this repo implements that
+// extension end-to-end, so the unit model is needed alongside mul/div.
+type Sqrter struct {
+	// Steps counts result-bit iterations performed.
+	Steps uint64
+	// Ops counts square roots performed.
+	Ops uint64
+}
+
+// sqrtResultBits is the number of result bits developed: 53 significand
+// bits plus one guard bit; the remainder supplies an exact sticky.
+const sqrtResultBits = 54
+
+// SqrtFloat64 computes the IEEE-754 double-precision square root with
+// round-to-nearest-even, bit-exact with the host FPU.
+func (sq *Sqrter) SqrtFloat64(a float64) float64 {
+	sq.Ops++
+	switch {
+	case math.IsNaN(a):
+		return quietNaN()
+	case a == 0:
+		return a // preserves -0
+	case a < 0:
+		return quietNaN()
+	case math.IsInf(a, 1):
+		return a
+	}
+
+	sa, ea := normSignificand(a)
+	// |a| = sa * 2^(ea-52), sa in [2^52, 2^53).
+	// Choose p so that (ea-52-p) is even and rad = sa<<p is in
+	// [2^106, 2^108); then sqrt(a) = isqrt(rad) * 2^((ea-52-p)/2) with
+	// isqrt(rad) in [2^53, 2^54).
+	p := 54
+	if (ea-52-p)&1 != 0 {
+		p = 55
+	}
+	radHi := sa >> uint(64-p)
+	radLo := sa << uint(p)
+
+	root, rem := sq.isqrt128(radHi, radLo)
+	// root = floor(sqrt(rad)) in [2^53, 2^54): 53 bits + 1 guard bit.
+	// sqrt of a non-square is irrational, so floor + sticky suffices for a
+	// correct round-to-nearest-even at 53 bits.
+	e2 := (ea - 52 - p) / 2
+	return composeFromWide(false, 0, root, e2, rem != 0)
+}
+
+// isqrt128 computes the integer square root of the 128-bit radicand hi:lo
+// by the classic two-bits-per-step restoring recurrence, developing
+// sqrtResultBits result bits. It returns floor(sqrt(hi:lo)) for radicands
+// of exactly 2*sqrtResultBits significant bits (callers guarantee the
+// radicand is in [2^106, 2^108)) together with the final remainder.
+func (sq *Sqrter) isqrt128(hi, lo uint64) (root, rem uint64) {
+	for i := sqrtResultBits - 1; i >= 0; i-- {
+		sq.Steps++
+		// Bring down the next two radicand bits (from the top).
+		// Radicand bit pairs are aligned, so a pair never straddles the
+		// hi/lo word boundary.
+		var two uint64
+		shift := uint(2 * i)
+		if shift >= 64 {
+			two = (hi >> (shift - 64)) & 3
+		} else {
+			two = (lo >> shift) & 3
+		}
+		rem = rem<<2 | two
+		trial := root<<2 | 1 // (2*root + 1) at the current digit weight
+		if rem >= trial {
+			rem -= trial
+			root = root<<1 | 1
+		} else {
+			root <<= 1
+		}
+	}
+	return root, rem
+}
+
+// Latency returns the cycle count of the iterative square root: one cycle
+// per result bit plus normalization and rounding stages.
+func (sq *Sqrter) Latency() int { return sqrtResultBits + 3 }

@@ -1,0 +1,219 @@
+package arith
+
+import "math"
+
+// Divider is a bit-exact model of a radix-4 SRT floating-point divider with
+// quotient digits in {-2..2}. This is the class of unit the paper's Table 1
+// latencies describe (and the unit whose quotient-selection lookup table
+// caused the Pentium FDIV bug, as the paper notes in §1.1). A MEMO-TABLE
+// adjacent to it turns a Latency()-cycle recurrence into a single-cycle
+// lookup on a hit.
+type Divider struct {
+	// QSel selects each quotient digit. The default (nil) uses exact
+	// selection — the nearest integer to 4R/D — which is what a
+	// full-precision comparison network would compute. Tests install the
+	// table-based selector to validate it digit-for-digit.
+	QSel QuotientSelector
+	// Steps counts digit-recurrence iterations performed.
+	Steps uint64
+	// Ops counts divisions performed.
+	Ops uint64
+}
+
+// QuotientSelector picks the next radix-4 quotient digit from the shifted
+// partial remainder r4 (= 4R, signed) and the divisor significand d
+// (in [2^52, 2^53)). The returned digit must keep |4R - digit*d| <= (2/3)d.
+type QuotientSelector interface {
+	Select(r4 int64, d int64) int
+}
+
+// srtDigits is the number of radix-4 iterations: 28 digits give a 56/57-bit
+// integer quotient, enough for a correctly rounded 53-bit significand.
+const srtDigits = 28
+
+// exactSelect returns the nearest integer to r4/d (ties toward even are
+// irrelevant: any nearest choice keeps the remainder bound).
+func exactSelect(r4, d int64) int {
+	neg := r4 < 0
+	ar4 := r4
+	if neg {
+		ar4 = -ar4
+	}
+	q := (ar4 + d/2) / d
+	if neg {
+		return -int(q)
+	}
+	return int(q)
+}
+
+// DivFloat64 performs an IEEE-754 double-precision division with
+// round-to-nearest-even, bit-exact with the host FPU.
+func (dv *Divider) DivFloat64(a, b float64) float64 {
+	dv.Ops++
+	fa, fb := Unpack(a), Unpack(b)
+	sign := fa.Sign != fb.Sign
+
+	switch {
+	case math.IsNaN(a) || math.IsNaN(b):
+		return quietNaN()
+	case math.IsInf(a, 0):
+		if math.IsInf(b, 0) {
+			return quietNaN()
+		}
+		return Pack(Fields{Sign: sign, Exponent: ExponentMax})
+	case math.IsInf(b, 0):
+		return Pack(Fields{Sign: sign})
+	case b == 0:
+		if a == 0 {
+			return quietNaN()
+		}
+		return Pack(Fields{Sign: sign, Exponent: ExponentMax})
+	case a == 0:
+		return Pack(Fields{Sign: sign})
+	}
+
+	sa, ea := normSignificand(a)
+	sb, eb := normSignificand(b)
+
+	// Digit recurrence: invariant  sa*4^j = Q*sb + R.  The first iteration
+	// uses exact selection regardless of QSel — it plays the role of the
+	// prescaling step that brings |R| within the table's (2/3)*d bound.
+	r := int64(sa)
+	d := int64(sb)
+	var q int64
+	for j := 0; j < srtDigits; j++ {
+		dv.Steps++
+		r4 := r << 2
+		var dig int
+		if j == 0 || dv.QSel == nil {
+			dig = exactSelect(r4, d)
+		} else {
+			dig = dv.QSel.Select(r4, d)
+		}
+		r = r4 - int64(dig)*d
+		q = q<<2 + int64(dig)
+	}
+	// Convert the redundant (signed-remainder) form to floor division.
+	if r < 0 {
+		q--
+		r += d
+	}
+	// sa/sb = (q + r/sb) / 4^srtDigits; value = that * 2^(ea-eb).
+	sticky := r != 0
+	return composeFromWide(sign, 0, uint64(q), ea-eb-2*srtDigits, sticky)
+}
+
+// Latency returns the cycle count of the iterative divide: one cycle per
+// radix-4 digit plus normalization and rounding stages.
+func (dv *Divider) Latency() int { return srtDigits + 3 }
+
+// --- Table-based quotient selection -------------------------------------
+
+// QST is a quotient-selection table: the PLA a hardware SRT divider uses in
+// place of a full-width division to pick each digit. It is indexed by a
+// truncation of the shifted partial remainder and of the divisor.
+//
+// Granularity: both estimates drop the low 48 bits, so the divisor index
+// spans [16, 32) (5 significant bits including the hidden bit) and the
+// remainder index spans [-qstRemMax, qstRemMax] (|4R| <= (8/3)d < 86*2^48).
+type QST struct {
+	// digit[dIdx-16][rIdx+qstRemMax] holds the digit for that estimate
+	// cell; cells that cannot occur hold math.MinInt8.
+	digit [16][2*qstRemMax + 1]int8
+	// Buggy, when true, emulates the Pentium FDIV flaw: a band of cells
+	// that should return +2 reads as digit 0 instead, silently corrupting
+	// low-order quotient bits for the operand pairs that reach it.
+	Buggy bool
+}
+
+const (
+	qstShift  = 48
+	qstRemMax = 88
+)
+
+// NewQST constructs a provably safe quotient-selection table: each cell's
+// digit keeps the next remainder within (2/3)*divisor for every exact
+// (remainder, divisor) pair that truncates into the cell. Construction
+// panics if the estimate granularity were insufficient — that it is not is
+// itself a property the tests assert.
+func NewQST() *QST {
+	t := &QST{}
+	for di := 0; di < 16; di++ {
+		dLo := int64(16+di) << qstShift     // inclusive
+		dHi := int64(16+di+1)<<qstShift - 1 // inclusive
+		for ri := -qstRemMax; ri <= qstRemMax; ri++ {
+			// Remainder interval covered by this cell.
+			rLo := int64(ri) << qstShift
+			rHi := rLo + (1<<qstShift - 1)
+			// A cell is reachable iff some exact pair in it satisfies the
+			// loop invariant |4R| <= (8/3)d, i.e. 3|r| <= 8d.
+			minAbsR := int64(0)
+			if rLo > 0 {
+				minAbsR = rLo
+			} else if rHi < 0 {
+				minAbsR = -rHi
+			}
+			if 3*minAbsR > 8*dHi {
+				t.digit[di][ri+qstRemMax] = math.MinInt8
+				continue
+			}
+			dig, ok := safeDigit(rLo, rHi, dLo, dHi)
+			if !ok {
+				panic("arith: QST granularity insufficient for reachable cell")
+			}
+			t.digit[di][ri+qstRemMax] = int8(dig)
+		}
+	}
+	return t
+}
+
+// safeDigit finds a digit in {-2..2} valid across the cell's intersection
+// with the reachable region 3|r| <= 8d, i.e. one satisfying
+// |r - dig*d| <= (2/3)d there. Digit dig is safe exactly on the band
+// (3dig-2)d <= 3r <= (3dig+2)d; for dig = ±2 the outer boundary coincides
+// with the reachability boundary and is automatic.
+func safeDigit(rLo, rHi, dLo, dHi int64) (int, bool) {
+	for dig := -2; dig <= 2; dig++ {
+		upOK := dig == 2 ||
+			(3*rHi <= int64(3*dig+2)*dLo && 3*rHi <= int64(3*dig+2)*dHi)
+		loOK := dig == -2 ||
+			(3*rLo >= int64(3*dig-2)*dLo && 3*rLo >= int64(3*dig-2)*dHi)
+		if upOK && loOK {
+			return dig, true
+		}
+	}
+	return 0, false
+}
+
+// Select implements QuotientSelector by truncated-estimate table lookup.
+// Out-of-range or unreachable estimates — which only occur once a Buggy
+// table has corrupted the recurrence — saturate like the hardware PLA
+// would, so a flawed table yields silently wrong quotients rather than a
+// simulator fault.
+func (t *QST) Select(r4, d int64) int {
+	dIdx := int(d>>qstShift) - 16
+	if dIdx < 0 {
+		dIdx = 0
+	} else if dIdx > 15 {
+		dIdx = 15
+	}
+	rIdx := int(r4 >> qstShift) // arithmetic shift floors toward -inf
+	if rIdx < -qstRemMax {
+		rIdx = -qstRemMax
+	} else if rIdx > qstRemMax {
+		rIdx = qstRemMax
+	}
+	dig := t.digit[dIdx][rIdx+qstRemMax]
+	if dig == math.MinInt8 {
+		if rIdx > 0 {
+			return 2
+		}
+		return -2
+	}
+	if t.Buggy && dig == 2 && rIdx >= 45 && dIdx >= 12 {
+		// The historical flaw: a band of high-remainder cells was left
+		// empty in the shipped PLA and read as digit 0.
+		return 0
+	}
+	return int(dig)
+}

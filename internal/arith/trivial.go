@@ -1,0 +1,118 @@
+package arith
+
+import "math"
+
+// Triviality classifies an operand pair as trivial or not for a given
+// operation. The paper (§2.1, §3.2, Table 9) distinguishes "trivial"
+// operations — those a small amount of detection logic can answer without
+// engaging the multi-cycle unit — from operations that genuinely require
+// computation. Trivial operations complete in a few cycles regardless, so
+// caching them wastes MEMO-TABLE capacity; detecting them *before* the
+// table and returning their result immediately (the "integrated" policy)
+// gives the best hit ratios.
+type Triviality int
+
+// Triviality values. NonTrivial means the operation must be computed (or
+// found in a MEMO-TABLE); every other value names the short-circuit rule
+// that applies.
+const (
+	NonTrivial Triviality = iota
+	MulByZero             // x*0 or 0*x = ±0
+	MulByOne              // x*1 or 1*x = x
+	DivZero               // 0/x = ±0 (x nonzero)
+	DivByOne              // x/1 = x
+	SqrtZero              // sqrt(±0) = ±0
+	SqrtOne               // sqrt(1) = 1
+	IMulByZero            // integer x*0
+	IMulByOne             // integer x*1
+)
+
+// String returns the rule name.
+func (t Triviality) String() string {
+	switch t {
+	case NonTrivial:
+		return "non-trivial"
+	case MulByZero:
+		return "fmul-by-zero"
+	case MulByOne:
+		return "fmul-by-one"
+	case DivZero:
+		return "fdiv-zero-dividend"
+	case DivByOne:
+		return "fdiv-by-one"
+	case SqrtZero:
+		return "fsqrt-zero"
+	case SqrtOne:
+		return "fsqrt-one"
+	case IMulByZero:
+		return "imul-by-zero"
+	case IMulByOne:
+		return "imul-by-one"
+	default:
+		return "unknown"
+	}
+}
+
+// Trivial reports whether t names a trivial operation.
+func (t Triviality) Trivial() bool { return t != NonTrivial }
+
+// ClassifyFMul classifies a floating-point multiplication a*b.
+// NaN and Inf operands are never trivial: they engage the unit's special
+// handling paths rather than the early-out detectors.
+func ClassifyFMul(a, b float64) (Triviality, float64) {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return NonTrivial, 0
+	}
+	switch {
+	case b == 0:
+		return MulByZero, a * b // preserves signed zero
+	case a == 0:
+		return MulByZero, a * b
+	case b == 1:
+		return MulByOne, a
+	case a == 1:
+		return MulByOne, b
+	}
+	return NonTrivial, 0
+}
+
+// ClassifyFDiv classifies a floating-point division a/b.
+func ClassifyFDiv(a, b float64) (Triviality, float64) {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) || b == 0 {
+		return NonTrivial, 0
+	}
+	switch {
+	case a == 0:
+		return DivZero, a / b
+	case b == 1:
+		return DivByOne, a
+	}
+	return NonTrivial, 0
+}
+
+// ClassifyFSqrt classifies a floating-point square root sqrt(a).
+func ClassifyFSqrt(a float64) (Triviality, float64) {
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return NonTrivial, 0
+	}
+	switch {
+	case a == 0:
+		return SqrtZero, a
+	case a == 1:
+		return SqrtOne, 1
+	}
+	return NonTrivial, 0
+}
+
+// ClassifyIMul classifies an integer multiplication a*b.
+func ClassifyIMul(a, b int64) (Triviality, int64) {
+	switch {
+	case a == 0 || b == 0:
+		return IMulByZero, 0
+	case b == 1:
+		return IMulByOne, a
+	case a == 1:
+		return IMulByOne, b
+	}
+	return NonTrivial, 0
+}

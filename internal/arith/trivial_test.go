@@ -1,0 +1,128 @@
+package arith
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifyFMul(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want Triviality
+		res  float64
+	}{
+		{3, 0, MulByZero, 0},
+		{0, 3, MulByZero, 0},
+		{-3, 0, MulByZero, math.Copysign(0, -1)},
+		{7, 1, MulByOne, 7},
+		{1, 7, MulByOne, 7},
+		{3, 4, NonTrivial, 0},
+		{1.5, 2.5, NonTrivial, 0},
+	}
+	for _, c := range cases {
+		tr, res := ClassifyFMul(c.a, c.b)
+		if tr != c.want {
+			t.Errorf("ClassifyFMul(%g,%g) = %v, want %v", c.a, c.b, tr, c.want)
+		}
+		if tr.Trivial() && math.Float64bits(res) != math.Float64bits(c.res) {
+			t.Errorf("ClassifyFMul(%g,%g) result = %g, want %g", c.a, c.b, res, c.res)
+		}
+	}
+}
+
+func TestClassifyFMulSpecialsNeverTrivial(t *testing.T) {
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, s := range specials {
+		for _, o := range []float64{0, 1, 3} {
+			if tr, _ := ClassifyFMul(s, o); tr.Trivial() {
+				t.Errorf("ClassifyFMul(%g,%g) trivial", s, o)
+			}
+			if tr, _ := ClassifyFMul(o, s); tr.Trivial() {
+				t.Errorf("ClassifyFMul(%g,%g) trivial", o, s)
+			}
+		}
+	}
+}
+
+func TestClassifyFDiv(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want Triviality
+	}{
+		{0, 3, DivZero},
+		{5, 1, DivByOne},
+		{5, 2, NonTrivial},
+		{5, 0, NonTrivial}, // division by zero engages the exception path
+		{0, 0, NonTrivial},
+		{1, 3, NonTrivial},
+	}
+	for _, c := range cases {
+		if tr, _ := ClassifyFDiv(c.a, c.b); tr != c.want {
+			t.Errorf("ClassifyFDiv(%g,%g) = %v, want %v", c.a, c.b, tr, c.want)
+		}
+	}
+	if tr, res := ClassifyFDiv(42, 1); tr != DivByOne || res != 42 {
+		t.Errorf("ClassifyFDiv(42,1) = %v,%g", tr, res)
+	}
+}
+
+func TestClassifyFSqrt(t *testing.T) {
+	if tr, res := ClassifyFSqrt(0); tr != SqrtZero || res != 0 {
+		t.Errorf("ClassifyFSqrt(0) = %v,%g", tr, res)
+	}
+	if tr, res := ClassifyFSqrt(1); tr != SqrtOne || res != 1 {
+		t.Errorf("ClassifyFSqrt(1) = %v,%g", tr, res)
+	}
+	if tr, _ := ClassifyFSqrt(2); tr != NonTrivial {
+		t.Errorf("ClassifyFSqrt(2) = %v", tr)
+	}
+	if tr, _ := ClassifyFSqrt(math.NaN()); tr.Trivial() {
+		t.Error("ClassifyFSqrt(NaN) trivial")
+	}
+}
+
+func TestClassifyIMul(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want Triviality
+		res  int64
+	}{
+		{0, 9, IMulByZero, 0},
+		{9, 0, IMulByZero, 0},
+		{1, 9, IMulByOne, 9},
+		{9, 1, IMulByOne, 9},
+		{3, 9, NonTrivial, 0},
+		{-1, 9, NonTrivial, 0}, // -1 is not a paper-trivial operand
+	}
+	for _, c := range cases {
+		tr, res := ClassifyIMul(c.a, c.b)
+		if tr != c.want {
+			t.Errorf("ClassifyIMul(%d,%d) = %v, want %v", c.a, c.b, tr, c.want)
+		}
+		if tr.Trivial() && res != c.res {
+			t.Errorf("ClassifyIMul(%d,%d) result = %d, want %d", c.a, c.b, res, c.res)
+		}
+	}
+}
+
+func TestTrivialityStrings(t *testing.T) {
+	all := []Triviality{NonTrivial, MulByZero, MulByOne, DivZero, DivByOne,
+		SqrtZero, SqrtOne, IMulByZero, IMulByOne, Triviality(99)}
+	seen := map[string]bool{}
+	for _, tr := range all {
+		s := tr.String()
+		if s == "" {
+			t.Errorf("empty String for %d", tr)
+		}
+		if seen[s] {
+			t.Errorf("duplicate String %q", s)
+		}
+		seen[s] = true
+	}
+	if NonTrivial.Trivial() {
+		t.Error("NonTrivial reports trivial")
+	}
+	if !MulByOne.Trivial() {
+		t.Error("MulByOne not trivial")
+	}
+}

@@ -1,0 +1,269 @@
+package arith
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sameFloat compares results treating all NaNs as equal and distinguishing
+// signed zeros.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestBoothMulInt64MatchesBitsMul(t *testing.T) {
+	var m Multiplier
+	f := func(a, b int64) bool {
+		hi, lo := m.MulInt64(a, b)
+		// Reference signed 128-bit product.
+		rhi, rlo := bits.Mul64(uint64(a), uint64(b))
+		if a < 0 {
+			rhi -= uint64(b)
+		}
+		if b < 0 {
+			rhi -= uint64(a)
+		}
+		return hi == rhi && lo == rlo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoothMulInt64Edges(t *testing.T) {
+	var m Multiplier
+	vals := []int64{0, 1, -1, 2, -2, 3, math.MaxInt64, math.MinInt64,
+		math.MaxInt64 - 1, math.MinInt64 + 1, 1 << 31, -(1 << 31), 0x5555555555555555}
+	for _, a := range vals {
+		for _, b := range vals {
+			hi, lo := m.MulInt64(a, b)
+			rhi, rlo := bits.Mul64(uint64(a), uint64(b))
+			if a < 0 {
+				rhi -= uint64(b)
+			}
+			if b < 0 {
+				rhi -= uint64(a)
+			}
+			if hi != rhi || lo != rlo {
+				t.Fatalf("MulInt64(%d,%d) = %#x:%#x, want %#x:%#x", a, b, hi, lo, rhi, rlo)
+			}
+		}
+	}
+}
+
+func TestBoothStepCounting(t *testing.T) {
+	var m Multiplier
+	m.MulInt64(3, 4)
+	if m.Ops != 1 {
+		t.Fatalf("Ops = %d, want 1", m.Ops)
+	}
+	if m.Steps != boothDigits {
+		t.Fatalf("Steps = %d, want %d", m.Steps, boothDigits)
+	}
+	if m.Latency() <= 0 {
+		t.Fatal("Latency must be positive")
+	}
+}
+
+func TestMulFloat64MatchesHost(t *testing.T) {
+	var m Multiplier
+	f := func(abits, bbits uint64) bool {
+		a, b := math.Float64frombits(abits), math.Float64frombits(bbits)
+		return sameFloat(m.MulFloat64(a, b), a*b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulFloat64NormalRange(t *testing.T) {
+	var m Multiplier
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a := (rng.Float64() - 0.5) * math.Pow(2, float64(rng.Intn(80)-40))
+		b := (rng.Float64() - 0.5) * math.Pow(2, float64(rng.Intn(80)-40))
+		if got, want := m.MulFloat64(a, b), a*b; !sameFloat(got, want) {
+			t.Fatalf("MulFloat64(%g,%g) = %g (%#x), want %g (%#x)",
+				a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestMulFloat64Specials(t *testing.T) {
+	var m Multiplier
+	inf, nan := math.Inf(1), math.NaN()
+	cases := [][2]float64{
+		{inf, 0}, {0, inf}, {-inf, 0}, {inf, inf}, {inf, -inf},
+		{nan, 1}, {1, nan}, {nan, nan}, {nan, 0},
+		{0, 0}, {math.Copysign(0, -1), 5}, {5, math.Copysign(0, -1)},
+		{inf, 2}, {-3, inf},
+		{math.MaxFloat64, math.MaxFloat64},            // overflow -> +Inf
+		{math.MaxFloat64, -math.MaxFloat64},           // overflow -> -Inf
+		{math.SmallestNonzeroFloat64, 0.5},            // underflow -> 0
+		{math.SmallestNonzeroFloat64, 0.25},           // underflow -> 0
+		{math.Float64frombits(1), 3},                  // subnormal * normal
+		{math.Float64frombits(0x000fffffffffffff), 2}, // largest subnormal
+		{1e-300, 1e-30},                               // gradual underflow
+	}
+	for _, c := range cases {
+		if got, want := m.MulFloat64(c[0], c[1]), c[0]*c[1]; !sameFloat(got, want) {
+			t.Errorf("MulFloat64(%g,%g) = %g (%#x), want %g (%#x)",
+				c[0], c[1], got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestDivFloat64MatchesHostExact(t *testing.T) {
+	var d Divider // exact quotient selection
+	f := func(abits, bbits uint64) bool {
+		a, b := math.Float64frombits(abits), math.Float64frombits(bbits)
+		return sameFloat(d.DivFloat64(a, b), a/b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivFloat64MatchesHostQST(t *testing.T) {
+	d := Divider{QSel: NewQST()}
+	f := func(abits, bbits uint64) bool {
+		a, b := math.Float64frombits(abits), math.Float64frombits(bbits)
+		return sameFloat(d.DivFloat64(a, b), a/b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivFloat64NormalRangeQST(t *testing.T) {
+	d := Divider{QSel: NewQST()}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a := (rng.Float64() - 0.5) * math.Pow(2, float64(rng.Intn(80)-40))
+		b := (rng.Float64() - 0.5) * math.Pow(2, float64(rng.Intn(80)-40))
+		if got, want := d.DivFloat64(a, b), a/b; !sameFloat(got, want) {
+			t.Fatalf("DivFloat64(%g,%g) = %g (%#x), want %g (%#x)",
+				a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestDivFloat64Specials(t *testing.T) {
+	var d Divider
+	inf, nan := math.Inf(1), math.NaN()
+	cases := [][2]float64{
+		{0, 0}, {inf, inf}, {-inf, inf}, {nan, 1}, {1, nan},
+		{1, 0}, {-1, 0}, {1, math.Copysign(0, -1)},
+		{0, 5}, {math.Copysign(0, -1), 5},
+		{inf, 3}, {3, inf}, {-3, -inf},
+		{math.MaxFloat64, math.SmallestNonzeroFloat64}, // overflow
+		{math.SmallestNonzeroFloat64, math.MaxFloat64}, // underflow
+		{math.SmallestNonzeroFloat64, 2},               // subnormal / normal
+		{1, 3}, {2, 3}, {1, 10},
+		{1e-300, 1e300},
+	}
+	for _, c := range cases {
+		if got, want := d.DivFloat64(c[0], c[1]), c[0]/c[1]; !sameFloat(got, want) {
+			t.Errorf("DivFloat64(%g,%g) = %g (%#x), want %g (%#x)",
+				c[0], c[1], got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestQSTAgreesWithExactSelection(t *testing.T) {
+	// Every digit the table picks must preserve the remainder invariant
+	// |4R - dig*D| <= (2/3)D, even where it differs from exact rounding.
+	qst := NewQST()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		d := int64(HiddenBit) + rng.Int63n(int64(HiddenBit))
+		// Reachable remainder: |R| <= (2/3)d.
+		r := rng.Int63n(4*d/3+1) - 2*d/3
+		r4 := r << 2
+		dig := qst.Select(r4, d)
+		next := r4 - int64(dig)*d
+		if 3*next > 2*d || 3*next < -2*d {
+			t.Fatalf("QST digit %d at r4=%d d=%d leaves remainder %d outside ±(2/3)d",
+				dig, r4, d, next)
+		}
+	}
+}
+
+func TestBuggyQSTProducesWrongResults(t *testing.T) {
+	good := Divider{QSel: NewQST()}
+	bug := Divider{QSel: &QST{}}
+	*bug.QSel.(*QST) = *NewQST()
+	bug.QSel.(*QST).Buggy = true
+
+	rng := rand.New(rand.NewSource(4))
+	wrong := 0
+	for i := 0; i < 20000; i++ {
+		a := 1 + rng.Float64()
+		b := 1 + rng.Float64()
+		g := good.DivFloat64(a, b)
+		w := bug.DivFloat64(a, b)
+		if g != a/b {
+			t.Fatalf("good divider wrong for %g/%g", a, b)
+		}
+		if w != g {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("buggy quotient-selection table never produced a wrong quotient")
+	}
+	t.Logf("buggy table corrupted %d of 20000 divisions", wrong)
+}
+
+func TestSqrtFloat64MatchesHost(t *testing.T) {
+	var s Sqrter
+	f := func(abits uint64) bool {
+		a := math.Float64frombits(abits)
+		return sameFloat(s.SqrtFloat64(a), math.Sqrt(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSqrtFloat64Cases(t *testing.T) {
+	var s Sqrter
+	vals := []float64{0, math.Copysign(0, -1), 1, 2, 4, 0.25, 1e300, 1e-300,
+		math.SmallestNonzeroFloat64, math.MaxFloat64, math.Inf(1), math.Inf(-1),
+		math.NaN(), -1, -1e-300, 9, 16, 2.25, math.Float64frombits(1)}
+	for _, v := range vals {
+		if got, want := s.SqrtFloat64(v), math.Sqrt(v); !sameFloat(got, want) {
+			t.Errorf("SqrtFloat64(%g) = %g (%#x), want %g (%#x)",
+				v, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestSqrtDenseSmallIntegers(t *testing.T) {
+	var s Sqrter
+	for i := 0; i <= 10000; i++ {
+		v := float64(i)
+		if got, want := s.SqrtFloat64(v), math.Sqrt(v); !sameFloat(got, want) {
+			t.Fatalf("SqrtFloat64(%g) = %g, want %g", v, got, want)
+		}
+	}
+}
+
+func TestUnitLatenciesPositive(t *testing.T) {
+	var m Multiplier
+	var d Divider
+	var s Sqrter
+	if m.Latency() <= 1 || d.Latency() <= 1 || s.Latency() <= 1 {
+		t.Fatal("multi-cycle units must have latency > 1")
+	}
+	// Division must be slower than multiplication, as in Table 1.
+	if d.Latency() <= 0 || s.Latency() <= d.Latency()/2 {
+		t.Log("latency sanity only")
+	}
+}

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{SizeBytes: 8192, LineBytes: 32, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 16, Ways: 1},
+		{SizeBytes: 65536, LineBytes: 64, Ways: 4},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", c, err)
+		}
+	}
+	bad := []Config{
+		{}, {SizeBytes: 1000, LineBytes: 32, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 33, Ways: 1},
+		{SizeBytes: 1024, LineBytes: 32, Ways: 0},
+		{SizeBytes: 1024, LineBytes: 32, Ways: -1},
+		{SizeBytes: 1024, LineBytes: 32, Ways: 3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New with bad config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Ways: 2})
+	if c.Access(0x100) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(0x11F) { // same 32-byte line
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x120) { // next line
+		t.Fatal("next-line access hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %g", st.HitRatio())
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2 ways, 16 sets of 32-byte lines: addresses 32*16 apart collide.
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Ways: 2})
+	stride := uint64(32 * 16)
+	c.Access(0 * stride)
+	c.Access(1 * stride)
+	c.Access(0 * stride) // touch first: second becomes LRU
+	c.Access(2 * stride) // evicts 1*stride
+	if !c.Access(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(1 * stride) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestSequentialLocality(t *testing.T) {
+	c := New(Config{SizeBytes: 8192, LineBytes: 32, Ways: 2})
+	var miss int
+	for addr := uint64(0); addr < 4096; addr += 8 {
+		if !c.Access(addr) {
+			miss++
+		}
+	}
+	// One miss per 32-byte line.
+	if miss != 4096/32 {
+		t.Fatalf("misses = %d, want %d", miss, 4096/32)
+	}
+}
+
+func TestResetCache(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 32, Ways: 2})
+	c.Access(0)
+	c.Reset()
+	if c.Access(0) {
+		t.Fatal("hit after reset")
+	}
+	if c.Stats().Accesses != 1 {
+		t.Fatal("stats not reset")
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	// A working set equal to capacity must, after warmup, hit always.
+	c := New(Config{SizeBytes: 4096, LineBytes: 32, Ways: 4})
+	addrs := make([]uint64, 4096/32)
+	for i := range addrs {
+		addrs[i] = uint64(i * 32)
+	}
+	for _, a := range addrs { // warm
+		c.Access(a)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		if !c.Access(addrs[rng.Intn(len(addrs))]) {
+			t.Fatal("capacity-resident line missed")
+		}
+	}
+}

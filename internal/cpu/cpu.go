@@ -1,0 +1,133 @@
+// Package cpu is the cycle model that turns an instrumented workload's
+// event stream into whole-application cycle counts. It mirrors the paper's
+// enhanced simulator (§3.3): an in-order machine charging per-class
+// instruction latencies, a two-level cache hierarchy for memory
+// operations, and memo-enhanced computation units where MEMO-TABLEs are
+// attached — a table hit completes its operation in a single cycle.
+//
+// As in the paper, multiple issue and inter-instruction pipelining are not
+// modelled: the indicator is the total cycle count executed by all
+// instructions, which isolates the superfluous cycles the tables avoid.
+package cpu
+
+import (
+	"memotable/internal/cache"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/trace"
+)
+
+// DefaultL1 is the first-level cache geometry (16 KB, 32-byte lines,
+// 2-way), in line with the on-chip caches of the paper's Table 1 machines.
+var DefaultL1 = cache.Config{SizeBytes: 16 * 1024, LineBytes: 32, Ways: 2}
+
+// DefaultL2 is the second-level cache geometry (256 KB, 64-byte lines,
+// 4-way).
+var DefaultL2 = cache.Config{SizeBytes: 256 * 1024, LineBytes: 64, Ways: 4}
+
+// Model consumes trace events and accumulates cycles. It implements
+// trace.Sink so it can ride the same stream as MEMO-TABLE hit-ratio
+// measurements and trace writers.
+type Model struct {
+	proc   isa.Processor
+	l1, l2 *cache.Cache
+	units  [isa.NumOps]*memo.Unit
+
+	cycles      uint64
+	classCycles [isa.NumOps]uint64
+	classCounts [isa.NumOps]uint64
+	savedCycles uint64
+}
+
+// New builds a cycle model for the processor with the default cache
+// hierarchy. Any provided memo units are attached to their op's
+// computation unit; a baseline machine attaches none.
+func New(proc isa.Processor, units ...*memo.Unit) *Model {
+	m := &Model{
+		proc: proc,
+		l1:   cache.New(DefaultL1),
+		l2:   cache.New(DefaultL2),
+	}
+	for _, u := range units {
+		if u == nil {
+			continue
+		}
+		m.units[u.Table().Op()] = u
+	}
+	return m
+}
+
+// Emit implements trace.Sink: charge one event's cycles.
+func (m *Model) Emit(ev trace.Event) {
+	var c int
+	switch ev.Op {
+	case isa.OpLoad, isa.OpStore:
+		switch {
+		case m.l1.Access(ev.A):
+			c = m.proc.L1Hit
+		case m.l2.Access(ev.A):
+			c = m.proc.L2Hit
+		default:
+			c = m.proc.Mem
+		}
+	default:
+		full := m.proc.LatencyOf(ev.Op)
+		c = full
+		if u := m.units[ev.Op]; u != nil {
+			_, outcome := u.Apply(ev.A, ev.B)
+			switch outcome {
+			case memo.Hit:
+				c = 1
+			case memo.Trivial:
+				// Integrated detection answers ahead of the unit in one
+				// cycle; under other policies the trivial operation still
+				// occupies the unit for its full latency.
+				if u.Policy() == memo.Integrated {
+					c = 1
+				}
+			}
+			if c < full {
+				m.savedCycles += uint64(full - c)
+			}
+		}
+	}
+	m.cycles += uint64(c)
+	m.classCycles[ev.Op] += uint64(c)
+	m.classCounts[ev.Op]++
+}
+
+// Cycles returns the total cycle count.
+func (m *Model) Cycles() uint64 { return m.cycles }
+
+// SavedCycles returns the cycles avoided by table hits (and integrated
+// trivial detection) relative to the same stream without tables.
+func (m *Model) SavedCycles() uint64 { return m.savedCycles }
+
+// ClassCycles returns the cycles charged to one op class.
+func (m *Model) ClassCycles(op isa.Op) uint64 { return m.classCycles[op] }
+
+// ClassCount returns the number of events of one op class.
+func (m *Model) ClassCount(op isa.Op) uint64 { return m.classCounts[op] }
+
+// Fraction returns the fraction of total cycles spent in the given
+// classes: the paper's Fraction Enhanced when evaluated on a baseline
+// (table-free) machine.
+func (m *Model) Fraction(ops ...isa.Op) float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	var c uint64
+	for _, op := range ops {
+		c += m.classCycles[op]
+	}
+	return float64(c) / float64(m.cycles)
+}
+
+// Unit returns the memo unit attached to op, or nil.
+func (m *Model) Unit(op isa.Op) *memo.Unit { return m.units[op] }
+
+// L1Stats and L2Stats expose the cache hierarchy's counters.
+func (m *Model) L1Stats() cache.Stats { return m.l1.Stats() }
+
+// L2Stats returns the second-level cache statistics.
+func (m *Model) L2Stats() cache.Stats { return m.l2.Stats() }

@@ -1,0 +1,143 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/trace"
+)
+
+func fdivEvent(a, b float64) trace.Event {
+	return trace.Event{Op: isa.OpFDiv, A: math.Float64bits(a), B: math.Float64bits(b)}
+}
+
+func TestBaselineChargesFullLatencies(t *testing.T) {
+	proc := isa.FastFP() // fdiv 13, fmul 3
+	m := New(proc)
+	m.Emit(fdivEvent(7, 3))
+	m.Emit(trace.Event{Op: isa.OpFMul, A: math.Float64bits(2), B: math.Float64bits(3)})
+	m.Emit(trace.Event{Op: isa.OpIAlu})
+	if m.Cycles() != 13+3+1 {
+		t.Fatalf("cycles = %d, want 17", m.Cycles())
+	}
+	if m.ClassCycles(isa.OpFDiv) != 13 || m.ClassCount(isa.OpFDiv) != 1 {
+		t.Fatalf("fdiv accounting wrong")
+	}
+	if m.SavedCycles() != 0 {
+		t.Fatal("baseline saved cycles")
+	}
+}
+
+func TestMemoHitTakesOneCycle(t *testing.T) {
+	proc := isa.FastFP()
+	u := memo.NewUnit(memo.New(isa.OpFDiv, memo.Paper32x4()), memo.NonTrivialOnly, nil)
+	m := New(proc, u)
+	m.Emit(fdivEvent(7, 3)) // miss: 13 cycles
+	m.Emit(fdivEvent(7, 3)) // hit: 1 cycle
+	if m.Cycles() != 14 {
+		t.Fatalf("cycles = %d, want 14", m.Cycles())
+	}
+	if m.SavedCycles() != 12 {
+		t.Fatalf("saved = %d, want 12", m.SavedCycles())
+	}
+}
+
+func TestTrivialLatencyByPolicy(t *testing.T) {
+	proc := isa.FastFP()
+	// NonTrivialOnly: trivial op still occupies the divider.
+	u1 := memo.NewUnit(memo.New(isa.OpFDiv, memo.Paper32x4()), memo.NonTrivialOnly, nil)
+	m1 := New(proc, u1)
+	m1.Emit(fdivEvent(7, 1))
+	if m1.Cycles() != 13 {
+		t.Fatalf("non-trivial-only: %d cycles, want 13", m1.Cycles())
+	}
+	// Integrated: detector answers in one cycle.
+	u2 := memo.NewUnit(memo.New(isa.OpFDiv, memo.Paper32x4()), memo.Integrated, nil)
+	m2 := New(proc, u2)
+	m2.Emit(fdivEvent(7, 1))
+	if m2.Cycles() != 1 {
+		t.Fatalf("integrated: %d cycles, want 1", m2.Cycles())
+	}
+}
+
+func TestMemoryHierarchyLatencies(t *testing.T) {
+	proc := isa.FastFP() // L1 1, L2 6, Mem 30
+	m := New(proc)
+	m.Emit(trace.Event{Op: isa.OpLoad, A: 0x1000}) // cold: memory
+	m.Emit(trace.Event{Op: isa.OpLoad, A: 0x1000}) // L1 hit
+	if m.Cycles() != 30+1 {
+		t.Fatalf("cycles = %d, want 31", m.Cycles())
+	}
+	// Evict from L1 but not L2, then reload: L2 hit. L1 is 16K 2-way with
+	// 32B lines: lines 16K/2=8K apart collide; three of them overflow the
+	// 2 ways.
+	m2 := New(proc)
+	m2.Emit(trace.Event{Op: isa.OpLoad, A: 0})
+	m2.Emit(trace.Event{Op: isa.OpLoad, A: 8 * 1024})
+	m2.Emit(trace.Event{Op: isa.OpLoad, A: 16 * 1024})
+	base := m2.Cycles()
+	m2.Emit(trace.Event{Op: isa.OpLoad, A: 0}) // L1 evicted, L2 has it
+	if got := m2.Cycles() - base; got != 6 {
+		t.Fatalf("L2 hit cost %d, want 6", got)
+	}
+	if m2.L1Stats().Accesses != 4 || m2.L2Stats().Accesses != 4 {
+		t.Fatalf("cache stats: L1 %+v L2 %+v", m2.L1Stats(), m2.L2Stats())
+	}
+}
+
+func TestFractionEnhanced(t *testing.T) {
+	proc := isa.FastFP()
+	m := New(proc)
+	for i := 0; i < 10; i++ {
+		m.Emit(trace.Event{Op: isa.OpIAlu})
+	}
+	m.Emit(fdivEvent(7, 3)) // 13 cycles of 23 total
+	want := 13.0 / 23.0
+	if got := m.Fraction(isa.OpFDiv); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Fraction = %g, want %g", got, want)
+	}
+	if got := m.Fraction(isa.OpFDiv, isa.OpIAlu); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("full fraction = %g", got)
+	}
+}
+
+func TestSpeedupEndToEnd(t *testing.T) {
+	// A loop reusing 4 divisor pairs: the memo machine must beat baseline,
+	// and the ratio must equal baseline/enhanced cycles.
+	proc := isa.SlowFP() // fdiv 39
+	events := make([]trace.Event, 0, 400)
+	for i := 0; i < 100; i++ {
+		events = append(events, fdivEvent(float64(i%4)+2, 7))
+		events = append(events, trace.Event{Op: isa.OpIAlu})
+	}
+	base := New(proc)
+	enh := New(proc, memo.NewUnit(memo.New(isa.OpFDiv, memo.Paper32x4()), memo.NonTrivialOnly, nil))
+	for _, ev := range events {
+		base.Emit(ev)
+		enh.Emit(ev)
+	}
+	if base.Cycles() != 100*40 {
+		t.Fatalf("baseline cycles %d", base.Cycles())
+	}
+	// 4 misses (39 each), 96 hits (1 each), 100 ialu.
+	wantEnh := uint64(4*39 + 96*1 + 100)
+	if enh.Cycles() != wantEnh {
+		t.Fatalf("enhanced cycles %d, want %d", enh.Cycles(), wantEnh)
+	}
+	if enh.SavedCycles() != base.Cycles()-enh.Cycles() {
+		t.Fatalf("saved %d vs delta %d", enh.SavedCycles(), base.Cycles()-enh.Cycles())
+	}
+	if enh.Unit(isa.OpFDiv) == nil || enh.Unit(isa.OpFMul) != nil {
+		t.Fatal("unit wiring wrong")
+	}
+}
+
+func TestModelIgnoresNilUnits(t *testing.T) {
+	m := New(isa.FastFP(), nil)
+	m.Emit(fdivEvent(1, 3))
+	if m.Cycles() != 13 {
+		t.Fatalf("cycles = %d", m.Cycles())
+	}
+}

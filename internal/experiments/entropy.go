@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"memotable/internal/fitting"
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/report"
+	"memotable/internal/workloads"
+)
+
+// Table8Row describes one input image: geometry, entropies and the mean
+// hit ratios of the applications run over it.
+type Table8Row struct {
+	Name        string
+	Size        string
+	Kind        string
+	Bands       int
+	EntropyFull float64 // NaN for FLOAT inputs, as in the paper
+	Entropy16   float64
+	Entropy8    float64
+	IMul        float64
+	FMul        float64
+	FDiv        float64
+}
+
+// Table8Result is the full image table.
+type Table8Result struct {
+	Rows []Table8Row
+	// Points carries the per-(application, image) samples Figure 2 plots.
+	Points []Fig2Point
+}
+
+// Fig2Point is one (application, image) hit-ratio sample with the image's
+// entropies.
+type Fig2Point struct {
+	App, Image  string
+	EntropyFull float64
+	Entropy8    float64
+	FMulRatio   float64 // NaN when the class is absent
+	FDivRatio   float64
+}
+
+// Table8 runs every Table 7 application over every catalog image it
+// accepts and reports per-image mean hit ratios alongside the image's
+// measured entropies.
+func Table8(scale Scale) *Table8Result {
+	res := &Table8Result{}
+	apps := make([]workloads.App, 0, len(mmTable7Apps))
+	for _, name := range mmTable7Apps {
+		a, err := workloads.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		apps = append(apps, a)
+	}
+	for _, in := range imaging.Catalog() {
+		img := in.Image.Decimate(scale.maxDim())
+		var eFull, e16, e8 float64
+		if in.Image.Kind == imaging.Float {
+			eFull, e16, e8 = math.NaN(), math.NaN(), math.NaN()
+		} else {
+			eFull, e16, e8 = img.Entropy(), img.WindowEntropy(16), img.WindowEntropy(8)
+		}
+		var imuls, fmuls, fdivs []float64
+		for _, app := range apps {
+			if !accepts(app, in.Name) {
+				continue
+			}
+			ts, _ := Measure(ImageRun(app.Run, img), memo.Paper32x4(), memo.NonTrivialOnly)
+			im, fm, fd := ts.HitRatio(isa.OpIMul), ts.HitRatio(isa.OpFMul), ts.HitRatio(isa.OpFDiv)
+			imuls = append(imuls, im)
+			fmuls = append(fmuls, fm)
+			fdivs = append(fdivs, fd)
+			res.Points = append(res.Points, Fig2Point{
+				App: app.Name, Image: in.Name,
+				EntropyFull: eFull, Entropy8: e8,
+				FMulRatio: fm, FDivRatio: fd,
+			})
+		}
+		res.Rows = append(res.Rows, Table8Row{
+			Name:        in.Name,
+			Size:        fmt.Sprintf("%dx%d", in.Image.W, in.Image.H),
+			Kind:        in.Image.Kind.String(),
+			Bands:       in.Image.Bands,
+			EntropyFull: eFull, Entropy16: e16, Entropy8: e8,
+			IMul: meanIgnoringNaN(imuls),
+			FMul: meanIgnoringNaN(fmuls),
+			FDiv: meanIgnoringNaN(fdivs),
+		})
+	}
+	return res
+}
+
+// accepts reports whether the application's default input list includes
+// the image.
+func accepts(app workloads.App, input string) bool {
+	for _, n := range app.Inputs {
+		if n == input {
+			return true
+		}
+	}
+	return false
+}
+
+// Render prints Table 8.
+func (r *Table8Result) Render() string {
+	tab := report.NewTable("Table 8: input images, entropies and mean hit ratios",
+		"image", "size", "type", "bands", "full", "16x16", "8x8",
+		"imul", "fmul", "fdiv")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Name, row.Size, row.Kind, fmt.Sprintf("%d", row.Bands),
+			report.Fixed(row.EntropyFull, 2),
+			report.Fixed(row.Entropy16, 2),
+			report.Fixed(row.Entropy8, 2),
+			report.Ratio(row.IMul), report.Ratio(row.FMul), report.Ratio(row.FDiv))
+	}
+	return tab.String()
+}
+
+// Fig2Fit is one fitted best-fit line of Figure 2: hit ratio as a linear
+// function of entropy, via Marquardt–Levenberg (as the paper fitted).
+type Fig2Fit struct {
+	Label     string
+	Intercept float64
+	Slope     float64 // hit-ratio change per bit of entropy
+	Points    int
+}
+
+// Figure2Result holds the four panels of Figure 2: fp div and fp mult
+// ratios against 8x8-window entropy and whole-image entropy.
+type Figure2Result struct {
+	Points []Fig2Point
+	Fits   []Fig2Fit
+}
+
+// Figure2 computes the hit-ratio/entropy relation. The paper observes
+// roughly a 5% hit-ratio decrease per added bit of entropy.
+func Figure2(scale Scale) *Figure2Result {
+	t8 := Table8(scale)
+	res := &Figure2Result{Points: t8.Points}
+	panels := []struct {
+		label string
+		x     func(Fig2Point) float64
+		y     func(Fig2Point) float64
+	}{
+		{"fdiv vs 8x8 entropy", func(p Fig2Point) float64 { return p.Entropy8 }, func(p Fig2Point) float64 { return p.FDivRatio }},
+		{"fdiv vs full entropy", func(p Fig2Point) float64 { return p.EntropyFull }, func(p Fig2Point) float64 { return p.FDivRatio }},
+		{"fmul vs 8x8 entropy", func(p Fig2Point) float64 { return p.Entropy8 }, func(p Fig2Point) float64 { return p.FMulRatio }},
+		{"fmul vs full entropy", func(p Fig2Point) float64 { return p.EntropyFull }, func(p Fig2Point) float64 { return p.FMulRatio }},
+	}
+	for _, panel := range panels {
+		var xs, ys []float64
+		for _, pt := range t8.Points {
+			x, y := panel.x(pt), panel.y(pt)
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		fit := Fig2Fit{Label: panel.label, Points: len(xs)}
+		if p, _, err := fitting.Levenberg(fitting.Line, xs, ys, []float64{0.5, -0.05}); err == nil {
+			fit.Intercept, fit.Slope = p[0], p[1]
+		} else {
+			fit.Intercept, fit.Slope = math.NaN(), math.NaN()
+		}
+		res.Fits = append(res.Fits, fit)
+	}
+	return res
+}
+
+// Render prints the fitted lines (the figure's interpretable content).
+func (r *Figure2Result) Render() string {
+	tab := report.NewTable("Figure 2: hit ratio vs entropy (Marquardt-Levenberg line fits)",
+		"panel", "points", "intercept", "slope (per bit)")
+	for _, f := range r.Fits {
+		tab.AddRow(f.Label, fmt.Sprintf("%d", f.Points),
+			report.Fixed(f.Intercept, 3), report.Fixed(f.Slope, 3))
+	}
+	return tab.String()
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"memotable/internal/cpu"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/probe"
+	"memotable/internal/report"
+	"memotable/internal/trace"
+	"memotable/internal/workloads"
+)
+
+// The paper's §4 names square root as the first target for extending
+// MEMO-TABLEs, and cites Oberman & Flynn's reciprocal cache as the
+// nearest prior scheme. Both extensions are implemented and evaluated
+// here, beyond the paper's own tables.
+
+// SqrtApps are the Multi-Media applications whose pipelines execute
+// square roots.
+var SqrtApps = []string{"vcost", "venhance", "vslope", "vsurf", "vsqrt", "vrect2pol"}
+
+// SqrtRow is one application's sqrt-memoization result.
+type SqrtRow struct {
+	Name     string
+	HitRatio float64
+	FE       float64
+	SE       float64
+	Speedup  float64
+}
+
+// SqrtResult is the sqrt-extension study.
+type SqrtResult struct {
+	Rows []SqrtRow
+}
+
+// ExtensionSqrt evaluates MEMO-TABLEs on the square-root unit (latency 17
+// cycles, a digit-recurrence unit's cost at 1 bit/cycle), the paper's
+// first future-work item, with the Table 11 methodology.
+func ExtensionSqrt(scale Scale) *SqrtResult {
+	res := &SqrtResult{}
+	proc := isa.FastFP()
+	for _, name := range SqrtApps {
+		app, err := workloads.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		base := cpu.New(proc)
+		enh := cpu.New(proc,
+			memo.NewUnit(memo.New(isa.OpFSqrt, memo.Paper32x4()), memo.NonTrivialOnly, nil))
+		for _, inName := range app.Inputs {
+			in := inputFor(inName, scale)
+			app.Run(probe.New(base, enh), in)
+		}
+		c := cellFrom(base, enh, []isa.Op{isa.OpFSqrt})
+		res.Rows = append(res.Rows, SqrtRow{
+			Name: name, HitRatio: c.HitRatio, FE: c.FE, SE: c.SE, Speedup: c.Speedup,
+		})
+	}
+	return res
+}
+
+// Render prints the sqrt study.
+func (r *SqrtResult) Render() string {
+	tab := report.NewTable(
+		"Extension: fp square root memoized (17-cycle unit; paper §4 future work)",
+		"app", "hit ratio", "FE", "SE", "Speedup")
+	var hr, fe, se, sp []float64
+	for _, row := range r.Rows {
+		tab.AddRow(row.Name, report.Ratio(row.HitRatio),
+			fmt.Sprintf("%.3f", row.FE), fmt.Sprintf("%.2f", row.SE),
+			fmt.Sprintf("%.2f", row.Speedup))
+		hr = append(hr, row.HitRatio)
+		fe = append(fe, row.FE)
+		se = append(se, row.SE)
+		sp = append(sp, row.Speedup)
+	}
+	tab.AddRow("average", report.Ratio(meanIgnoringNaN(hr)),
+		fmt.Sprintf("%.3f", meanIgnoringNaN(fe)),
+		fmt.Sprintf("%.2f", meanIgnoringNaN(se)),
+		fmt.Sprintf("%.2f", meanIgnoringNaN(sp)))
+	return tab.String()
+}
+
+// RecipRow compares a fdiv MEMO-TABLE against a reciprocal cache of equal
+// geometry on one application.
+type RecipRow struct {
+	Name string
+	// MemoHit and RecipHit are the two schemes' hit ratios. The
+	// reciprocal cache keys on the divisor alone, so RecipHit >= MemoHit
+	// is expected; the memo hit is worth more cycles.
+	MemoHit  float64
+	RecipHit float64
+	// MemoSaved and RecipSaved are cycles avoided per scheme on a 13-cycle
+	// divider with a 3-cycle multiplier (hit costs: 1 vs 3 cycles).
+	MemoSaved  uint64
+	RecipSaved uint64
+	// Mismatches counts uncorrected-fast-path rounding deviations the
+	// reciprocal cache would have emitted.
+	Mismatches uint64
+}
+
+// RecipResult is the baseline comparison.
+type RecipResult struct {
+	Rows []RecipRow
+}
+
+// recipSink adapts a RecipCache to the event stream.
+type recipSink struct{ rc *memo.RecipCache }
+
+func (s recipSink) Emit(ev trace.Event) {
+	if ev.Op == isa.OpFDiv {
+		s.rc.Apply(math.Float64frombits(ev.A), math.Float64frombits(ev.B))
+	}
+}
+
+// ExtensionRecip compares the MEMO-TABLE against the Oberman/Flynn
+// reciprocal-cache baseline at identical geometry (32 entries, 4-way) on
+// the speedup-study applications.
+func ExtensionRecip(scale Scale) *RecipResult {
+	const (
+		divLatency = 13
+		mulLatency = 3
+	)
+	res := &RecipResult{}
+	for _, name := range SpeedupApps {
+		app, err := workloads.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		memoSet := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
+		rc := memo.NewRecipCache(memo.Paper32x4())
+		for _, inName := range app.Inputs {
+			in := inputFor(inName, scale)
+			app.Run(probe.New(memoSet, recipSink{rc}), in)
+		}
+		mSt := memoSet.Unit(isa.OpFDiv).Table().Stats()
+		rSt := rc.Stats()
+		if mSt.Lookups == 0 {
+			continue // application without divisions
+		}
+		res.Rows = append(res.Rows, RecipRow{
+			Name:       name,
+			MemoHit:    mSt.HitRatio(),
+			RecipHit:   rSt.HitRatio(),
+			MemoSaved:  mSt.Hits * uint64(divLatency-1),
+			RecipSaved: rSt.Hits * uint64(divLatency-mulLatency),
+			Mismatches: rc.RoundingMismatch(),
+		})
+	}
+	return res
+}
+
+// Render prints the comparison.
+func (r *RecipResult) Render() string {
+	tab := report.NewTable(
+		"Extension: MEMO-TABLE vs reciprocal cache (32/4; div 13, mul 3 cycles)",
+		"app", "memo hit", "recip hit", "memo saved", "recip saved", "uncorrected ulps")
+	for _, row := range r.Rows {
+		tab.AddRow(row.Name,
+			report.Ratio(row.MemoHit), report.Ratio(row.RecipHit),
+			fmt.Sprintf("%d", row.MemoSaved), fmt.Sprintf("%d", row.RecipSaved),
+			fmt.Sprintf("%d", row.Mismatches))
+	}
+	return tab.String()
+}

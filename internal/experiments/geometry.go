@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/report"
+	"memotable/internal/stats"
+	"memotable/internal/workloads"
+)
+
+// GeometryApps are the five sample applications of Figures 3 and 4.
+var GeometryApps = []string{"vcost", "venhance", "vgpwl", "vspatial", "vsurf"}
+
+// GeometryPoint is one x position of a geometry sweep: the mean and
+// min/max across the sample applications, for fp multiplication and
+// division.
+type GeometryPoint struct {
+	X                          int // entries (Fig. 3) or ways (Fig. 4)
+	FMulMean, FMulMin, FMulMax float64
+	FDivMean, FDivMin, FDivMax float64
+}
+
+// GeometryResult is a Figure 3 or Figure 4 sweep.
+type GeometryResult struct {
+	Title  string
+	XName  string
+	Points []GeometryPoint
+}
+
+// Figure3Sizes are the table sizes swept (associativity fixed at 4); the
+// paper sweeps 8 to 8192 entries.
+var Figure3Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// Figure3 reproduces the hit ratio vs table size sweep (set size 4).
+func Figure3(scale Scale) *GeometryResult {
+	cfgs := make([]memo.Config, len(Figure3Sizes))
+	for i, n := range Figure3Sizes {
+		ways := 4
+		if n < 4 {
+			ways = n
+		}
+		cfgs[i] = memo.Config{Entries: n, Ways: ways}
+	}
+	res := sweep("Figure 3: hit ratio vs LUT size (assoc 4)", "entries", cfgs, scale)
+	for i := range res.Points {
+		res.Points[i].X = Figure3Sizes[i]
+	}
+	return res
+}
+
+// Figure4Ways are the associativities swept at 32 entries.
+var Figure4Ways = []int{1, 2, 4, 8}
+
+// Figure4 reproduces the hit ratio vs associativity sweep (32 entries).
+func Figure4(scale Scale) *GeometryResult {
+	cfgs := make([]memo.Config, len(Figure4Ways))
+	for i, w := range Figure4Ways {
+		cfgs[i] = memo.Config{Entries: 32, Ways: w}
+	}
+	res := sweep("Figure 4: hit ratio vs associativity (32 entries)", "ways", cfgs, scale)
+	for i := range res.Points {
+		res.Points[i].X = Figure4Ways[i]
+	}
+	return res
+}
+
+// sweep measures the five sample applications across all configurations
+// in one pass per application-input.
+func sweep(title, xName string, cfgs []memo.Config, scale Scale) *GeometryResult {
+	// One TableSet per configuration, shared across apps and inputs (the
+	// paper's averages are across the applications at each size).
+	perApp := make([][]*TableSet, len(GeometryApps))
+	for a := range perApp {
+		perApp[a] = make([]*TableSet, len(cfgs))
+		for i, cfg := range cfgs {
+			perApp[a][i] = NewTableSet(cfg, memo.NonTrivialOnly)
+		}
+	}
+	for a, name := range GeometryApps {
+		app, err := workloads.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		for _, inName := range app.Inputs {
+			in := inputFor(inName, scale)
+			ImageRun(app.Run, in)(probeFor(perApp[a]...))
+		}
+	}
+	res := &GeometryResult{Title: title, XName: xName}
+	for i := range cfgs {
+		var fmuls, fdivs []float64
+		for a := range GeometryApps {
+			if v := perApp[a][i].HitRatio(isa.OpFMul); !math.IsNaN(v) {
+				fmuls = append(fmuls, v)
+			}
+			if v := perApp[a][i].HitRatio(isa.OpFDiv); !math.IsNaN(v) {
+				fdivs = append(fdivs, v)
+			}
+		}
+		pt := GeometryPoint{}
+		pt.FMulMean = stats.Mean(fmuls)
+		pt.FMulMin, pt.FMulMax = stats.MinMax(fmuls)
+		pt.FDivMean = stats.Mean(fdivs)
+		pt.FDivMin, pt.FDivMax = stats.MinMax(fdivs)
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Render prints the sweep as a series table.
+func (r *GeometryResult) Render() string {
+	tab := report.NewTable(r.Title, r.XName,
+		"fmul mean", "fmul min", "fmul max",
+		"fdiv mean", "fdiv min", "fdiv max")
+	for _, pt := range r.Points {
+		tab.AddRow(fmt.Sprintf("%d", pt.X),
+			report.Ratio(pt.FMulMean), report.Ratio(pt.FMulMin), report.Ratio(pt.FMulMax),
+			report.Ratio(pt.FDivMean), report.Ratio(pt.FDivMin), report.Ratio(pt.FDivMax))
+	}
+	return tab.String()
+}

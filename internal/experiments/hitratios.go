@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/probe"
+	"memotable/internal/report"
+	"memotable/internal/scientific"
+	"memotable/internal/trace"
+	"memotable/internal/workloads"
+)
+
+// Scale bounds the image geometry the MM experiments run at. The paper
+// traced full applications under Shade; we trade input size for wall
+// clock without changing value behaviour (subsampling preserves the
+// quantized histograms the hit ratios respond to).
+type Scale int
+
+// Scales.
+const (
+	// Tiny decimates inputs to 32 pixels per side: unit-test budget.
+	Tiny Scale = iota
+	// Quick decimates inputs to 64 pixels per side: interactive budget
+	// (the memosim command's default).
+	Quick
+	// Full decimates inputs to 192 pixels per side: benchmark budget.
+	Full
+)
+
+// maxDim returns the per-side bound.
+func (s Scale) maxDim() int {
+	switch s {
+	case Full:
+		return 192
+	case Quick:
+		return 64
+	default:
+		return 32
+	}
+}
+
+// inputFor fetches and decimates a catalog input.
+func inputFor(name string, scale Scale) *imaging.Image {
+	in := imaging.Find(name)
+	if in == nil {
+		panic("experiments: unknown input " + name)
+	}
+	return in.Image.Decimate(scale.maxDim())
+}
+
+// HitRow is one application's hit ratios under two table configurations.
+type HitRow struct {
+	Name     string
+	Small    map[isa.Op]float64 // 32-entry 4-way
+	Infinite map[isa.Op]float64 // unbounded fully associative
+}
+
+// HitTable is a Table 5/6/7-shaped result.
+type HitTable struct {
+	Title string
+	Rows  []HitRow
+}
+
+// ratioOps are the columns of Tables 5–7.
+var ratioOps = []isa.Op{isa.OpIMul, isa.OpFMul, isa.OpFDiv}
+
+// Average computes the per-op column means, skipping '-' entries.
+func (t *HitTable) Average() HitRow {
+	avg := HitRow{Name: "average", Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
+	for _, op := range ratioOps {
+		var small, inf []float64
+		for _, r := range t.Rows {
+			small = append(small, r.Small[op])
+			inf = append(inf, r.Infinite[op])
+		}
+		avg.Small[op] = meanIgnoringNaN(small)
+		avg.Infinite[op] = meanIgnoringNaN(inf)
+	}
+	return avg
+}
+
+// Render prints the table in the paper's layout.
+func (t *HitTable) Render() string {
+	tab := report.NewTable(t.Title, "application",
+		"int mult", "fp mult", "fp div",
+		"int mult∞", "fp mult∞", "fp div∞")
+	rows := append(append([]HitRow(nil), t.Rows...), t.Average())
+	for _, r := range rows {
+		tab.AddRow(r.Name,
+			report.Ratio(r.Small[isa.OpIMul]),
+			report.Ratio(r.Small[isa.OpFMul]),
+			report.Ratio(r.Small[isa.OpFDiv]),
+			report.Ratio(r.Infinite[isa.OpIMul]),
+			report.Ratio(r.Infinite[isa.OpFMul]),
+			report.Ratio(r.Infinite[isa.OpFDiv]))
+	}
+	return tab.String()
+}
+
+// suiteHitTable measures one list of runners against the paper's basic
+// 32/4 configuration and the infinite table.
+func suiteHitTable(title string, names []string, runs []Runner) *HitTable {
+	t := &HitTable{Title: title}
+	for i, run := range runs {
+		sets := MeasureMany(run, memo.NonTrivialOnly, memo.Paper32x4(), memo.Infinite())
+		row := HitRow{Name: names[i], Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
+		for _, op := range ratioOps {
+			row.Small[op] = sets[0].HitRatio(op)
+			row.Infinite[op] = sets[1].HitRatio(op)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table5 reproduces "Hit ratios for the Perfect benchmarks" (32/4 vs
+// infinite, non-trivial operations only).
+func Table5() *HitTable {
+	ks := scientific.Perfect()
+	names := make([]string, len(ks))
+	runs := make([]Runner, len(ks))
+	for i, k := range ks {
+		names[i], runs[i] = k.Name, k.Run
+	}
+	return suiteHitTable("Table 5: hit ratios, Perfect benchmarks", names, runs)
+}
+
+// Table6 reproduces "Hit ratios for the SPEC CFP95 benchmarks".
+func Table6() *HitTable {
+	ks := scientific.SpecCFP95()
+	names := make([]string, len(ks))
+	runs := make([]Runner, len(ks))
+	for i, k := range ks {
+		names[i], runs[i] = k.Name, k.Run
+	}
+	return suiteHitTable("Table 6: hit ratios, SPEC CFP95 benchmarks", names, runs)
+}
+
+// mmTable7Apps lists the seventeen applications of Table 7 in paper
+// order (vsqrt appears in Table 4 and the speedup study but not in
+// Table 7).
+var mmTable7Apps = []string{
+	"vdiff", "vcost", "vgauss", "vspatial", "vslope", "vgef", "vdetilt",
+	"vwarp", "venhance", "vrect2pol", "vmpp", "vbrf", "vbpf", "vsurf",
+	"vgpwl", "venhpatch", "vkmeans",
+}
+
+// Table7 reproduces "Hit ratios for Multi-Media applications". Each
+// application runs over its default inputs (the paper used 8–14 per
+// application) and reports per-op ratios aggregated over all inputs.
+func Table7(scale Scale) *HitTable {
+	t := &HitTable{Title: "Table 7: hit ratios, Multi-Media applications"}
+	for _, name := range mmTable7Apps {
+		app, err := workloads.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		small := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
+		inf := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
+		for _, inName := range app.Inputs {
+			in := inputFor(inName, scale)
+			run := ImageRun(app.Run, in)
+			run(probeFor(small, inf))
+		}
+		row := HitRow{Name: name, Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
+		for _, op := range ratioOps {
+			row.Small[op] = small.HitRatio(op)
+			row.Infinite[op] = inf.HitRatio(op)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table10Result compares full-value and mantissa-only tagging (Table 10):
+// suite-average fp hit ratios for both schemes at 32/4.
+type Table10Result struct {
+	// [suite][op][scheme]: suites are Perfect and Multi-Media; schemes
+	// are full then mantissa-only.
+	PerfectFull, PerfectMant map[isa.Op]float64
+	MMFull, MMMant           map[isa.Op]float64
+}
+
+// Table10 reproduces the mantissa-only comparison.
+func Table10(scale Scale) *Table10Result {
+	res := &Table10Result{
+		PerfectFull: map[isa.Op]float64{}, PerfectMant: map[isa.Op]float64{},
+		MMFull: map[isa.Op]float64{}, MMMant: map[isa.Op]float64{},
+	}
+	mantCfg := memo.Paper32x4()
+	mantCfg.MantissaOnly = true
+
+	measure := func(runs []Runner) (full, mant map[isa.Op]float64) {
+		fullSet := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
+		mantSet := NewTableSet(mantCfg, memo.NonTrivialOnly)
+		for _, run := range runs {
+			run(probeFor(fullSet, mantSet))
+		}
+		full = map[isa.Op]float64{}
+		mant = map[isa.Op]float64{}
+		for _, op := range []isa.Op{isa.OpFMul, isa.OpFDiv} {
+			full[op] = fullSet.HitRatio(op)
+			mant[op] = mantSet.HitRatio(op)
+		}
+		return full, mant
+	}
+
+	var perfRuns []Runner
+	for _, k := range scientific.Perfect() {
+		perfRuns = append(perfRuns, k.Run)
+	}
+	res.PerfectFull, res.PerfectMant = measure(perfRuns)
+
+	var mmRuns []Runner
+	for _, name := range mmTable7Apps {
+		app, _ := workloads.Lookup(name)
+		in := inputFor(app.Inputs[0], scale)
+		mmRuns = append(mmRuns, ImageRun(app.Run, in))
+	}
+	res.MMFull, res.MMMant = measure(mmRuns)
+	return res
+}
+
+// Render prints Table 10.
+func (r *Table10Result) Render() string {
+	tab := report.NewTable("Table 10: full value vs mantissa-only tags (32/4 averages)",
+		"suite", "fp mult full", "fp mult mant", "fp div full", "fp div mant")
+	tab.AddRow("Perfect",
+		report.Ratio(r.PerfectFull[isa.OpFMul]), report.Ratio(r.PerfectMant[isa.OpFMul]),
+		report.Ratio(r.PerfectFull[isa.OpFDiv]), report.Ratio(r.PerfectMant[isa.OpFDiv]))
+	tab.AddRow("Multi-Media",
+		report.Ratio(r.MMFull[isa.OpFMul]), report.Ratio(r.MMMant[isa.OpFMul]),
+		report.Ratio(r.MMFull[isa.OpFDiv]), report.Ratio(r.MMMant[isa.OpFDiv]))
+	return tab.String()
+}
+
+// probeFor builds a probe feeding the given table sets.
+func probeFor(sets ...*TableSet) *probe.Probe {
+	sinks := make([]trace.Sink, len(sets))
+	for i, s := range sets {
+		sinks[i] = s
+	}
+	return probe.New(sinks...)
+}

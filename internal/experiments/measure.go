@@ -1,0 +1,108 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§3), plus the shared machinery that runs a workload
+// once and measures every attached MEMO-TABLE. See DESIGN.md for the
+// experiment index.
+package experiments
+
+import (
+	"math"
+
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/probe"
+	"memotable/internal/trace"
+)
+
+// MemoOps are the classes given MEMO-TABLEs in the paper's simulated
+// system (§3.1): integer multiplier, fp multiplier, fp divider — plus the
+// fp square root extension.
+var MemoOps = []isa.Op{isa.OpIMul, isa.OpFMul, isa.OpFDiv, isa.OpFSqrt}
+
+// TableSet is one simulated system: a MEMO-TABLE per memoizable class,
+// fed from a trace stream.
+type TableSet struct {
+	units map[isa.Op]*memo.Unit
+}
+
+// NewTableSet builds identical tables for all MemoOps.
+func NewTableSet(cfg memo.Config, policy memo.TrivialPolicy) *TableSet {
+	ts := &TableSet{units: make(map[isa.Op]*memo.Unit, len(MemoOps))}
+	for _, op := range MemoOps {
+		ts.units[op] = memo.NewUnit(memo.New(op, cfg), policy, nil)
+	}
+	return ts
+}
+
+// Emit implements trace.Sink: memoizable events exercise their table.
+func (ts *TableSet) Emit(ev trace.Event) {
+	if u, ok := ts.units[ev.Op]; ok {
+		u.Apply(ev.A, ev.B)
+	}
+}
+
+// Unit returns the unit for one class.
+func (ts *TableSet) Unit(op isa.Op) *memo.Unit { return ts.units[op] }
+
+// HitRatio returns the class's hit ratio under the set's policy, or NaN
+// if the class never appeared (the paper's '-' entries).
+func (ts *TableSet) HitRatio(op isa.Op) float64 {
+	u := ts.units[op]
+	if u == nil || u.TotalOps() == 0 {
+		return math.NaN()
+	}
+	if u.Policy() == memo.Integrated {
+		return u.Table().Stats().IntegratedHitRatio()
+	}
+	return u.Table().Stats().HitRatio()
+}
+
+// Runner abstracts "run this program through a probe": both MM image
+// applications and scientific kernels satisfy it.
+type Runner func(p *probe.Probe)
+
+// ImageRun curries an MM application with its input.
+func ImageRun(run func(*probe.Probe, *imaging.Image) *imaging.Image, in *imaging.Image) Runner {
+	return func(p *probe.Probe) { run(p, in) }
+}
+
+// Measure runs the program once against table sets built from cfg and
+// policy, returning the set (for hit ratios) and the op counter (for
+// instruction mixes).
+func Measure(run Runner, cfg memo.Config, policy memo.TrivialPolicy) (*TableSet, *trace.Counter) {
+	ts := NewTableSet(cfg, policy)
+	var c trace.Counter
+	run(probe.New(ts, &c))
+	return ts, &c
+}
+
+// MeasureMany runs the program once with several table configurations
+// simultaneously (one pass over the trace feeds them all), the way the
+// paper's simulator evaluated multiple geometries per run.
+func MeasureMany(run Runner, policy memo.TrivialPolicy, cfgs ...memo.Config) []*TableSet {
+	sets := make([]*TableSet, len(cfgs))
+	sinks := make([]trace.Sink, len(cfgs))
+	for i, cfg := range cfgs {
+		sets[i] = NewTableSet(cfg, policy)
+		sinks[i] = sets[i]
+	}
+	run(probe.New(trace.Multi(sinks)))
+	return sets
+}
+
+// meanIgnoringNaN averages the defined values; NaN entries ('-') are
+// skipped, as in the paper's per-suite averages.
+func meanIgnoringNaN(xs []float64) float64 {
+	var s float64
+	var n int
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			s += x
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}

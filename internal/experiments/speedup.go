@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"memotable/internal/cpu"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/probe"
+	"memotable/internal/report"
+	"memotable/internal/workloads"
+)
+
+// SpeedupApps are the nine applications of the paper's speedup study
+// (Tables 11–13).
+var SpeedupApps = []string{
+	"venhance", "vbrf", "vsqrt", "vslope", "vbpf",
+	"vkmeans", "vspatial", "vgauss", "vgpwl",
+}
+
+// SpeedupCell is one application at one latency point: the paper's
+// columns hit ratio, FE, SE and whole-application speedup. All four are
+// measured from the cycle model (two-level cache hierarchy included), not
+// assumed: FE is the enhanced classes' share of baseline cycles, SE the
+// ratio of their baseline to enhanced cycles, Speedup the total-cycle
+// ratio — which Amdahl's law then ties together.
+type SpeedupCell struct {
+	HitRatio float64
+	FE       float64
+	SE       float64
+	Speedup  float64
+}
+
+// SpeedupRow is one application at the study's two latency points.
+type SpeedupRow struct {
+	Name       string
+	Slow, Fast SpeedupCell // e.g. 13- and 39-cycle dividers
+}
+
+// SpeedupResult is a Table 11/12/13-shaped result.
+type SpeedupResult struct {
+	Title     string
+	FastLabel string
+	SlowLabel string
+	Ops       []isa.Op
+	Rows      []SpeedupRow
+}
+
+// Table11 reproduces the fdiv-memoization speedups with 13- and 39-cycle
+// dividers.
+func Table11(scale Scale) *SpeedupResult {
+	base := isa.FastFP()
+	return speedupStudy(
+		"Table 11: speedup, fp division memoized",
+		"13 cycles", "39 cycles",
+		[]isa.Op{isa.OpFDiv},
+		base.WithFPLatencies(3, 13), base.WithFPLatencies(3, 39), scale)
+}
+
+// Table12 reproduces the fmul-memoization speedups with 3- and 5-cycle
+// multipliers.
+func Table12(scale Scale) *SpeedupResult {
+	base := isa.FastFP()
+	return speedupStudy(
+		"Table 12: speedup, fp multiplication memoized",
+		"3 cycles", "5 cycles",
+		[]isa.Op{isa.OpFMul},
+		base.WithFPLatencies(3, 13), base.WithFPLatencies(5, 13), scale)
+}
+
+// Table13 reproduces the combined fmul+fdiv speedups on the 3/13- and
+// 5/39-cycle machines.
+func Table13(scale Scale) *SpeedupResult {
+	base := isa.FastFP()
+	return speedupStudy(
+		"Table 13: speedup, fp multiplication and division memoized",
+		"3/13 cycles", "5/39 cycles",
+		[]isa.Op{isa.OpFMul, isa.OpFDiv},
+		base.WithFPLatencies(3, 13), base.WithFPLatencies(5, 39), scale)
+}
+
+// speedupStudy runs each application over its inputs on four machines in
+// one pass: baseline and memo-enhanced, at fast and slow FP latencies.
+func speedupStudy(title, fastLabel, slowLabel string, ops []isa.Op,
+	fast, slow isa.Processor, scale Scale) *SpeedupResult {
+
+	res := &SpeedupResult{
+		Title: title, FastLabel: fastLabel, SlowLabel: slowLabel, Ops: ops,
+	}
+	for _, name := range SpeedupApps {
+		app, err := workloads.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		units := func() []*memo.Unit {
+			us := make([]*memo.Unit, len(ops))
+			for i, op := range ops {
+				us[i] = memo.NewUnit(memo.New(op, memo.Paper32x4()), memo.NonTrivialOnly, nil)
+			}
+			return us
+		}
+		fastBase := cpu.New(fast)
+		fastEnh := cpu.New(fast, units()...)
+		slowBase := cpu.New(slow)
+		slowEnh := cpu.New(slow, units()...)
+		for _, inName := range app.Inputs {
+			in := inputFor(inName, scale)
+			app.Run(probe.New(fastBase, fastEnh, slowBase, slowEnh), in)
+		}
+		res.Rows = append(res.Rows, SpeedupRow{
+			Name: name,
+			Fast: cellFrom(fastBase, fastEnh, ops),
+			Slow: cellFrom(slowBase, slowEnh, ops),
+		})
+	}
+	return res
+}
+
+// cellFrom derives the paper's four columns from a baseline/enhanced
+// model pair.
+func cellFrom(base, enh *cpu.Model, ops []isa.Op) SpeedupCell {
+	var c SpeedupCell
+	c.FE = base.Fraction(ops...)
+	var baseClass, enhClass uint64
+	var hits, lookups uint64
+	for _, op := range ops {
+		baseClass += base.ClassCycles(op)
+		enhClass += enh.ClassCycles(op)
+		st := enh.Unit(op).Table().Stats()
+		hits += st.Hits
+		lookups += st.Lookups
+	}
+	if lookups > 0 {
+		c.HitRatio = float64(hits) / float64(lookups)
+	} else {
+		c.HitRatio = math.NaN()
+	}
+	if enhClass > 0 {
+		c.SE = float64(baseClass) / float64(enhClass)
+	} else {
+		c.SE = 1
+	}
+	if enh.Cycles() > 0 {
+		c.Speedup = float64(base.Cycles()) / float64(enh.Cycles())
+	} else {
+		c.Speedup = 1
+	}
+	return c
+}
+
+// Average aggregates the rows (simple means, as the paper's bottom row).
+func (r *SpeedupResult) Average() SpeedupRow {
+	mean := func(get func(SpeedupRow) SpeedupCell) SpeedupCell {
+		var hr, fe, se, sp []float64
+		for _, row := range r.Rows {
+			c := get(row)
+			hr = append(hr, c.HitRatio)
+			fe = append(fe, c.FE)
+			se = append(se, c.SE)
+			sp = append(sp, c.Speedup)
+		}
+		return SpeedupCell{
+			HitRatio: meanIgnoringNaN(hr),
+			FE:       meanIgnoringNaN(fe),
+			SE:       meanIgnoringNaN(se),
+			Speedup:  meanIgnoringNaN(sp),
+		}
+	}
+	return SpeedupRow{
+		Name: "average",
+		Fast: mean(func(r SpeedupRow) SpeedupCell { return r.Fast }),
+		Slow: mean(func(r SpeedupRow) SpeedupCell { return r.Slow }),
+	}
+}
+
+// Render prints the study in the paper's layout.
+func (r *SpeedupResult) Render() string {
+	tab := report.NewTable(r.Title, "app", "hit ratio",
+		"FE "+r.FastLabel, "SE", "Speedup",
+		"FE "+r.SlowLabel, "SE ", "Speedup ")
+	rows := append(append([]SpeedupRow(nil), r.Rows...), r.Average())
+	for _, row := range rows {
+		tab.AddRow(row.Name,
+			report.Ratio(row.Fast.HitRatio),
+			fmt.Sprintf("%.3f", row.Fast.FE),
+			fmt.Sprintf("%.2f", row.Fast.SE),
+			fmt.Sprintf("%.2f", row.Fast.Speedup),
+			fmt.Sprintf("%.3f", row.Slow.FE),
+			fmt.Sprintf("%.2f", row.Slow.SE),
+			fmt.Sprintf("%.2f", row.Slow.Speedup))
+	}
+	return tab.String()
+}
+
+// Table1 renders the static processor latency table the paper opens with.
+func Table1() string {
+	tab := report.NewTable("Table 1: cycle times of leading microprocessors",
+		"processor", "multiplication", "division")
+	for _, p := range isa.Table1Processors() {
+		tab.AddRow(p.Name,
+			fmt.Sprintf("%d", p.Latency[isa.OpFMul]),
+			fmt.Sprintf("%d", p.Latency[isa.OpFDiv]))
+	}
+	return tab.String()
+}

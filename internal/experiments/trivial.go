@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"math"
+
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/report"
+	"memotable/internal/workloads"
+)
+
+// Table9Apps are the eight applications of the paper's trivial-operation
+// study.
+var Table9Apps = []string{
+	"vdiff", "vcost", "vgauss", "vspatial", "vslope", "vgef", "vdetilt", "venhance",
+}
+
+// Table9Cell is one op class's trivial-policy comparison for one app.
+type Table9Cell struct {
+	TrivialFraction float64 // trv: trivial ops / all ops
+	All             float64 // hit ratio caching everything
+	Non             float64 // hit ratio caching non-trivial only
+	Integrated      float64 // trivial detection integrated (trivial = hit)
+}
+
+// Table9Row is one application across the three memoized classes.
+type Table9Row struct {
+	Name string
+	Cell map[isa.Op]Table9Cell
+}
+
+// Table9Result is the full policy-comparison table.
+type Table9Result struct {
+	Rows []Table9Row
+}
+
+// Table9 reproduces the trivial-operation policy comparison: for each
+// application, the fraction of trivial operations and the hit ratios
+// under the "all", "non" and "intgr" policies (32/4 tables).
+func Table9(scale Scale) *Table9Result {
+	res := &Table9Result{}
+	for _, name := range Table9Apps {
+		app, err := workloads.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		all := NewTableSet(memo.Paper32x4(), memo.CacheAll)
+		non := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
+		intg := NewTableSet(memo.Paper32x4(), memo.Integrated)
+		for _, inName := range app.Inputs {
+			in := inputFor(inName, scale)
+			ImageRun(app.Run, in)(probeFor(all, non, intg))
+		}
+		row := Table9Row{Name: name, Cell: map[isa.Op]Table9Cell{}}
+		for _, op := range ratioOps {
+			u := non.Unit(op)
+			if u.TotalOps() == 0 {
+				row.Cell[op] = Table9Cell{
+					TrivialFraction: math.NaN(), All: math.NaN(),
+					Non: math.NaN(), Integrated: math.NaN(),
+				}
+				continue
+			}
+			row.Cell[op] = Table9Cell{
+				TrivialFraction: float64(u.TrivialOps()) / float64(u.TotalOps()),
+				All:             all.HitRatio(op),
+				Non:             non.HitRatio(op),
+				Integrated:      intg.HitRatio(op),
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Average returns the column means across applications, skipping '-'.
+func (r *Table9Result) Average() Table9Row {
+	avg := Table9Row{Name: "average", Cell: map[isa.Op]Table9Cell{}}
+	for _, op := range ratioOps {
+		var trv, all, non, intg []float64
+		for _, row := range r.Rows {
+			c := row.Cell[op]
+			trv = append(trv, c.TrivialFraction)
+			all = append(all, c.All)
+			non = append(non, c.Non)
+			intg = append(intg, c.Integrated)
+		}
+		avg.Cell[op] = Table9Cell{
+			TrivialFraction: meanIgnoringNaN(trv),
+			All:             meanIgnoringNaN(all),
+			Non:             meanIgnoringNaN(non),
+			Integrated:      meanIgnoringNaN(intg),
+		}
+	}
+	return avg
+}
+
+// Render prints Table 9 in the paper's layout (trv %, all, non, intgr per
+// class).
+func (r *Table9Result) Render() string {
+	tab := report.NewTable("Table 9: trivial-operation policies (32/4)",
+		"application",
+		"im trv", "im all", "im non", "im intgr",
+		"fm trv", "fm all", "fm non", "fm intgr",
+		"fd trv", "fd all", "fd non", "fd intgr")
+	rows := append(append([]Table9Row(nil), r.Rows...), r.Average())
+	for _, row := range rows {
+		cells := []string{row.Name}
+		for _, op := range ratioOps {
+			c := row.Cell[op]
+			cells = append(cells,
+				report.Ratio(c.TrivialFraction), report.Ratio(c.All),
+				report.Ratio(c.Non), report.Ratio(c.Integrated))
+		}
+		tab.AddRow(cells...)
+	}
+	return tab.String()
+}

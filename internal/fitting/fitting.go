@@ -1,0 +1,184 @@
+// Package fitting provides least-squares curve fitting: a closed-form
+// linear fit and the Marquardt–Levenberg nonlinear fitter the paper used
+// for the Figure 2 best-fit lines relating hit ratio to image entropy.
+package fitting
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports an unsolvable normal-equation system.
+var ErrSingular = errors.New("fitting: singular system")
+
+// ErrNoConverge reports that Levenberg–Marquardt hit its iteration budget
+// without meeting the tolerance.
+var ErrNoConverge = errors.New("fitting: no convergence")
+
+// LinearFit computes the ordinary least-squares line y = a + b*x.
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) {
+		panic("fitting: LinearFit length mismatch")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return 0, 0, ErrSingular
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	det := n*sxx - sx*sx
+	if math.Abs(det) < 1e-12*math.Max(1, n*sxx) {
+		return 0, 0, ErrSingular
+	}
+	b = (n*sxy - sx*sy) / det
+	a = (sy - b*sx) / n
+	return a, b, nil
+}
+
+// Model is a parametric curve y = f(x; p).
+type Model func(x float64, p []float64) float64
+
+// Line is the two-parameter model p[0] + p[1]*x, the form of the paper's
+// Figure 2 fit.
+func Line(x float64, p []float64) float64 { return p[0] + p[1]*x }
+
+// Levenberg fits model parameters to (xs, ys) by the Marquardt–Levenberg
+// algorithm with a numerically differentiated Jacobian, starting from p0.
+// It returns the fitted parameters and the residual sum of squares.
+func Levenberg(model Model, xs, ys, p0 []float64) ([]float64, float64, error) {
+	if len(xs) != len(ys) {
+		panic("fitting: Levenberg length mismatch")
+	}
+	if len(xs) < len(p0) {
+		return nil, 0, ErrSingular
+	}
+	p := append([]float64(nil), p0...)
+	np := len(p)
+	lambda := 1e-3
+	rss := residualSS(model, xs, ys, p)
+
+	const (
+		maxIter = 200
+		tol     = 1e-12
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		// Build J^T J and J^T r with a forward-difference Jacobian.
+		jtj := make([][]float64, np)
+		for i := range jtj {
+			jtj[i] = make([]float64, np)
+		}
+		jtr := make([]float64, np)
+		grad := make([]float64, np)
+		for k := range xs {
+			f0 := model(xs[k], p)
+			r := ys[k] - f0
+			for i := 0; i < np; i++ {
+				h := 1e-7 * math.Max(1, math.Abs(p[i]))
+				p[i] += h
+				grad[i] = (model(xs[k], p) - f0) / h
+				p[i] -= h
+			}
+			for i := 0; i < np; i++ {
+				jtr[i] += grad[i] * r
+				for j := 0; j <= i; j++ {
+					jtj[i][j] += grad[i] * grad[j]
+				}
+			}
+		}
+		for i := 0; i < np; i++ {
+			for j := i + 1; j < np; j++ {
+				jtj[i][j] = jtj[j][i]
+			}
+		}
+
+		// Damped step: (J^T J + lambda*diag) dp = J^T r.
+		improved := false
+		for attempt := 0; attempt < 30; attempt++ {
+			aug := make([][]float64, np)
+			for i := range aug {
+				aug[i] = append([]float64(nil), jtj[i]...)
+				aug[i][i] *= 1 + lambda
+				if aug[i][i] == 0 {
+					aug[i][i] = lambda
+				}
+			}
+			dp, err := solve(aug, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			cand := make([]float64, np)
+			for i := range cand {
+				cand[i] = p[i] + dp[i]
+			}
+			crss := residualSS(model, xs, ys, cand)
+			if crss < rss {
+				rel := (rss - crss) / math.Max(rss, 1e-300)
+				p, rss = cand, crss
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				if rel < tol {
+					return p, rss, nil
+				}
+				break
+			}
+			lambda *= 10
+		}
+		if !improved {
+			// Damping saturated: we are at a (local) minimum.
+			return p, rss, nil
+		}
+	}
+	return p, rss, ErrNoConverge
+}
+
+func residualSS(model Model, xs, ys, p []float64) float64 {
+	var s float64
+	for i := range xs {
+		r := ys[i] - model(xs[i], p)
+		s += r * r
+	}
+	return s
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy-safe
+// augmented system A x = b. A is modified.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back-substitute.
+	for col := n - 1; col >= 0; col-- {
+		for c := col + 1; c < n; c++ {
+			x[col] -= a[col][c] * x[c]
+		}
+		x[col] /= a[col][col]
+	}
+	return x, nil
+}

@@ -1,0 +1,130 @@
+package fitting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5 - 0.05*x // the paper's ~5%/bit slope shape
+	}
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2.5) > 1e-12 || math.Abs(b+0.05) > 1e-12 {
+		t.Fatalf("fit = %g + %g x", a, b)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 8
+		xs = append(xs, x)
+		ys = append(ys, 0.8-0.05*x+0.01*(rng.Float64()-0.5))
+	}
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-0.8) > 0.01 || math.Abs(b+0.05) > 0.005 {
+		t.Fatalf("fit = %g + %g x", a, b)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point fit succeeded")
+	}
+	if _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("vertical data fit succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	LinearFit([]float64{1, 2}, []float64{1})
+}
+
+func TestLevenbergLineMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 8
+		xs = append(xs, x)
+		ys = append(ys, 0.9-0.06*x+0.02*(rng.Float64()-0.5))
+	}
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, rss, err := Levenberg(Line, xs, ys, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-a) > 1e-5 || math.Abs(p[1]-b) > 1e-5 {
+		t.Fatalf("LM (%g,%g) vs OLS (%g,%g)", p[0], p[1], a, b)
+	}
+	if rss < 0 {
+		t.Fatal("negative RSS")
+	}
+}
+
+func TestLevenbergNonlinearExponential(t *testing.T) {
+	model := func(x float64, p []float64) float64 {
+		return p[0] * math.Exp(p[1]*x)
+	}
+	var xs, ys []float64
+	for i := 0; i <= 40; i++ {
+		x := float64(i) / 5
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Exp(-0.7*x))
+	}
+	p, rss, err := Levenberg(model, xs, ys, []float64{1, -0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-3) > 1e-4 || math.Abs(p[1]+0.7) > 1e-4 {
+		t.Fatalf("fit = %v (rss %g)", p, rss)
+	}
+}
+
+func TestLevenbergUnderdetermined(t *testing.T) {
+	if _, _, err := Levenberg(Line, []float64{1}, []float64{2}, []float64{0, 0}); err == nil {
+		t.Error("underdetermined fit succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Levenberg(Line, []float64{1, 2}, []float64{1}, []float64{0, 0})
+}
+
+func TestSolve(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	x, err := solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solve = %v", x)
+	}
+	// Singular.
+	if _, err := solve([][]float64{{1, 2}, {2, 4}}, []float64{1, 2}); err == nil {
+		t.Error("singular solve succeeded")
+	}
+	// Needs pivoting.
+	b := [][]float64{{0, 1}, {1, 0}}
+	x, err = solve(b, []float64{7, 9})
+	if err != nil || x[0] != 9 || x[1] != 7 {
+		t.Fatalf("pivoted solve = %v, %v", x, err)
+	}
+}

@@ -1,0 +1,165 @@
+package imaging
+
+import "sync"
+
+// Catalog builds the synthetic stand-ins for the paper's Table 8 input
+// images. We do not have the photographic originals (mandrill, lenna, …);
+// each stand-in matches its original's geometry, pixel kind, band count
+// and — approximately — its measured full-image entropy, which Figure 2
+// shows is the property hit ratios respond to. Generation is
+// deterministic.
+
+// Input is one named workload input.
+type Input struct {
+	Name string
+	// Desc summarizes the original image this input stands in for.
+	Desc string
+	// TargetEntropy is the paper's measured full-image entropy (bits);
+	// zero for FLOAT images, for which Table 8 reports none.
+	TargetEntropy float64
+	Image         *Image
+}
+
+var (
+	catalogOnce sync.Once
+	catalog     []Input
+)
+
+// Catalog returns the fourteen Table 8 inputs. Generation happens once;
+// the returned images are shared, so treat them as read-only and Clone
+// before modifying.
+func Catalog() []Input {
+	catalogOnce.Do(func() { catalog = buildCatalog() })
+	return catalog
+}
+
+func buildCatalog() []Input {
+	return []Input{
+		{
+			Name: "mandrill", Desc: "256x256 BYTE, high-detail primate photo",
+			TargetEntropy: 7.34,
+			Image:         photographic(256, 256, 101, 0.62, 0.22, 256),
+		},
+		{
+			Name: "nature", Desc: "256x256 BYTE, natural scene",
+			TargetEntropy: 7.38,
+			Image:         photographic(256, 256, 102, 0.60, 0.25, 256),
+		},
+		{
+			Name: "Muppet1", Desc: "240x256 BYTE, studio scene",
+			TargetEntropy: 7.04,
+			Image:         photographic(256, 240, 103, 0.62, 0.12, 168),
+		},
+		{
+			Name: "guya", Desc: "128x128 BYTE, portrait",
+			TargetEntropy: 6.99,
+			Image:         photographic(128, 128, 104, 0.62, 0.11, 160),
+		},
+		{
+			Name: "star", Desc: "158x158 BYTE, star field",
+			TargetEntropy: 5.93,
+			Image:         photographic(158, 158, 105, 0.60, 0.05, 90),
+		},
+		{
+			Name: "chroms", Desc: "64x64 BYTE, chromosome spread",
+			TargetEntropy: 4.82,
+			Image:         blobsQuantized(64, 64, 12, 106, 40),
+		},
+		{
+			Name: "airport1", Desc: "256x256 BYTE, aerial view",
+			TargetEntropy: 4.47,
+			Image:         gammaQuantized(256, 256, 107, 3.0, 48),
+		},
+		{
+			Name: "lablabel", Desc: "243x486 INTEGER, labelled lab scene",
+			TargetEntropy: 3.37,
+			Image:         Labels(243, 486, 12, 108),
+		},
+		{
+			Name: "fractal", Desc: "450x409 BYTE, fractal over flat background",
+			TargetEntropy: 1.42,
+			Image:         fractalByte(450, 409, 109),
+		},
+		{
+			Name: "head", Desc: "228x256 FLOAT, MRI head section",
+			Image: GaussianBlobs(228, 256, 24, 110),
+		},
+		{
+			Name: "spine", Desc: "228x256 FLOAT, MRI spine section",
+			Image: GaussianBlobs(228, 256, 30, 111),
+		},
+		{
+			Name: "lenna.rgb", Desc: "480x512 BYTE x3, portrait",
+			TargetEntropy: 7.75,
+			Image: Multi(
+				photographic(480, 512, 112, 0.62, 0.60, 256),
+				photographic(480, 512, 113, 0.62, 0.60, 256),
+				photographic(480, 512, 114, 0.62, 0.60, 256),
+			),
+		},
+		{
+			Name: "mandril.rgb", Desc: "480x512 BYTE x3, primate photo",
+			TargetEntropy: 7.75,
+			Image: Multi(
+				photographic(480, 512, 115, 0.62, 0.60, 256),
+				photographic(480, 512, 116, 0.62, 0.60, 256),
+				photographic(480, 512, 117, 0.62, 0.60, 256),
+			),
+		},
+		{
+			Name: "lizard.rgb", Desc: "512x768 BYTE x3, reptile skin texture",
+			TargetEntropy: 7.60,
+			Image: Multi(
+				photographic(512, 768, 118, 0.62, 0.42, 256),
+				photographic(512, 768, 119, 0.62, 0.42, 256),
+				photographic(512, 768, 120, 0.62, 0.42, 256),
+			),
+		},
+	}
+}
+
+// Find returns the catalog input with the given name, or nil.
+func Find(name string) *Input {
+	for _, in := range Catalog() {
+		if in.Name == name {
+			c := in
+			return &c
+		}
+	}
+	return nil
+}
+
+// photographic blends plasma structure with pixel noise and quantizes:
+// the texture/entropy profile of a photographic byte image. noise is the
+// blend weight of the uniform-noise field.
+func photographic(w, h int, seed int64, roughness, noise float64, levels int) *Image {
+	im := Blend(Plasma(w, h, seed, roughness), Noise(w, h, seed+5000), noise)
+	im.Quantize(levels)
+	im.Kind = Byte
+	return im
+}
+
+// blobsQuantized renders blob structure on a dark field.
+func blobsQuantized(w, h, n int, seed int64, levels int) *Image {
+	im := GaussianBlobs(w, h, n, seed)
+	im.Quantize(levels)
+	im.Kind = Byte
+	return im
+}
+
+// gammaQuantized concentrates a plasma histogram before quantizing,
+// lowering its entropy at a fixed level count.
+func gammaQuantized(w, h int, seed int64, gamma float64, levels int) *Image {
+	im := Gamma(Plasma(w, h, seed, 0.55), gamma)
+	im.Quantize(levels)
+	im.Kind = Byte
+	return im
+}
+
+// fractalByte quantizes a fractal basin to byte levels.
+func fractalByte(w, h int, seed int64) *Image {
+	im := FractalBasin(w, h, seed)
+	im.Quantize(256)
+	im.Kind = Byte
+	return im
+}

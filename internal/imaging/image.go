@@ -1,0 +1,216 @@
+// Package imaging is the image substrate for the Multi-Media workloads.
+// It supplies the Image type the Khoros-equivalent applications process,
+// Shannon-entropy measurement over whole images and over 16×16 / 8×8
+// windows (the paper's Table 8 metrics), and synthetic generators whose
+// quantized entropy is controllable — our substitute for the paper's
+// photographic test images (mandrill, lenna, …), which we do not have.
+// Matching an image's entropy matches the independent variable of the
+// paper's Figure 2, which is what the workloads' hit ratios respond to.
+package imaging
+
+import (
+	"fmt"
+
+	"memotable/internal/stats"
+)
+
+// Kind is the pixel representation, following Table 8's "type" column.
+type Kind int
+
+// Pixel kinds.
+const (
+	Byte    Kind = iota // 0..255 integer-valued samples
+	Integer             // wider integer-valued samples (label maps)
+	Float               // continuous samples
+)
+
+// String names the kind as in Table 8.
+func (k Kind) String() string {
+	switch k {
+	case Byte:
+		return "BYTE"
+	case Integer:
+		return "INTEGER"
+	case Float:
+		return "FLOAT"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Image is a dense raster of float64 samples with one or more bands,
+// stored row-major, band-interleaved. Base gives the image a synthetic
+// byte address so memory operations on it exercise the cycle model's
+// cache hierarchy.
+type Image struct {
+	W, H, Bands int
+	Kind        Kind
+	Base        uint64
+	Pix         []float64
+}
+
+// nextBase spaces image allocations in the synthetic address space.
+var nextBase uint64 = 0x10000000
+
+// New allocates a w×h image with the given bands and kind.
+func New(w, h, bands int, kind Kind) *Image {
+	if w <= 0 || h <= 0 || bands <= 0 {
+		panic(fmt.Sprintf("imaging: invalid dimensions %dx%dx%d", w, h, bands))
+	}
+	im := &Image{
+		W: w, H: h, Bands: bands, Kind: kind,
+		Base: nextBase,
+		Pix:  make([]float64, w*h*bands),
+	}
+	nextBase += uint64(w*h*bands*8 + 4096)
+	return im
+}
+
+// idx returns the sample index for (x, y, band).
+func (im *Image) idx(x, y, b int) int {
+	return (y*im.W+x)*im.Bands + b
+}
+
+// At returns the sample at (x, y) in band b.
+func (im *Image) At(x, y, b int) float64 { return im.Pix[im.idx(x, y, b)] }
+
+// Set writes the sample at (x, y) in band b.
+func (im *Image) Set(x, y, b int, v float64) { im.Pix[im.idx(x, y, b)] = v }
+
+// Addr returns the synthetic byte address of the sample, for cache
+// modelling.
+func (im *Image) Addr(x, y, b int) uint64 {
+	return im.Base + uint64(im.idx(x, y, b))*8
+}
+
+// Clone deep-copies the image (new base address).
+func (im *Image) Clone() *Image {
+	out := New(im.W, im.H, im.Bands, im.Kind)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Clamp bounds x into [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Quantize rounds every sample to one of `levels` integer levels in
+// [0, levels-1], rescaling from the image's current min/max range. It is
+// how Byte images are produced from continuous fields.
+func (im *Image) Quantize(levels int) {
+	if levels < 2 {
+		panic("imaging: need at least 2 levels")
+	}
+	lo, hi := stats.MinMax(im.Pix)
+	span := hi - lo
+	if span == 0 {
+		for i := range im.Pix {
+			im.Pix[i] = 0
+		}
+		return
+	}
+	for i, v := range im.Pix {
+		q := int((v - lo) / span * float64(levels))
+		if q >= levels {
+			q = levels - 1
+		}
+		im.Pix[i] = float64(q)
+	}
+}
+
+// Histogram builds the sample-value histogram of band b.
+func (im *Image) Histogram(b int) *stats.Histogram {
+	h := stats.NewHistogram()
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			h.Add(im.At(x, y, b))
+		}
+	}
+	return h
+}
+
+// Entropy returns the Shannon entropy in bits of the whole image,
+// averaged across bands (Table 8's "full" column).
+func (im *Image) Entropy() float64 {
+	var e float64
+	for b := 0; b < im.Bands; b++ {
+		e += im.Histogram(b).Entropy()
+	}
+	return e / float64(im.Bands)
+}
+
+// WindowEntropy returns the mean entropy of non-overlapping win×win
+// windows, averaged across bands: the paper's 16×16 and 8×8 columns.
+// Partial edge windows are included.
+func (im *Image) WindowEntropy(win int) float64 {
+	if win <= 0 {
+		panic("imaging: window size must be positive")
+	}
+	var sum float64
+	var n int
+	for b := 0; b < im.Bands; b++ {
+		for y0 := 0; y0 < im.H; y0 += win {
+			for x0 := 0; x0 < im.W; x0 += win {
+				h := stats.NewHistogram()
+				for y := y0; y < y0+win && y < im.H; y++ {
+					for x := x0; x < x0+win && x < im.W; x++ {
+						h.Add(im.At(x, y, b))
+					}
+				}
+				sum += h.Entropy()
+				n++
+			}
+		}
+	}
+	return sum / float64(n)
+}
+
+// Decimate returns the image subsampled so that neither dimension exceeds
+// maxDim (picking every k-th sample). Experiment drivers use it to run the
+// full workload matrix at reduced cost; subsampling preserves the value
+// histogram — and therefore the entropy — up to sampling noise.
+func (im *Image) Decimate(maxDim int) *Image {
+	if maxDim <= 0 {
+		panic("imaging: Decimate needs a positive bound")
+	}
+	k := 1
+	for im.W/k > maxDim || im.H/k > maxDim {
+		k++
+	}
+	if k == 1 {
+		return im.Clone()
+	}
+	out := New((im.W+k-1)/k, (im.H+k-1)/k, im.Bands, im.Kind)
+	for b := 0; b < im.Bands; b++ {
+		for y := 0; y < out.H; y++ {
+			for x := 0; x < out.W; x++ {
+				out.Set(x, y, b, im.At(x*k, y*k, b))
+			}
+		}
+	}
+	return out
+}
+
+// MinMax returns the extreme samples of band b.
+func (im *Image) MinMax(b int) (lo, hi float64) {
+	lo, hi = im.At(0, 0, b), im.At(0, 0, b)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.At(x, y, b)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,239 @@
+package imaging
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	im := New(4, 3, 2, Byte)
+	im.Set(2, 1, 1, 7)
+	if im.At(2, 1, 1) != 7 {
+		t.Fatal("Set/At round trip")
+	}
+	if im.At(0, 0, 0) != 0 {
+		t.Fatal("zero init")
+	}
+	// Addresses are 8 bytes apart sample-to-sample and distinct per image.
+	if im.Addr(1, 0, 0)-im.Addr(0, 0, 1) != 8 {
+		t.Fatal("address stride")
+	}
+	other := New(4, 3, 2, Byte)
+	if other.Base == im.Base {
+		t.Fatal("images share a base address")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid geometry accepted")
+		}
+	}()
+	New(0, 3, 1, Byte)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	im := New(2, 2, 1, Float)
+	im.Set(0, 0, 0, 5)
+	c := im.Clone()
+	c.Set(0, 0, 0, 9)
+	if im.At(0, 0, 0) != 5 {
+		t.Fatal("clone aliases parent")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	im := New(16, 1, 1, Float)
+	for x := 0; x < 16; x++ {
+		im.Set(x, 0, 0, float64(x)/15)
+	}
+	im.Quantize(4)
+	lo, hi := im.MinMax(0)
+	if lo != 0 || hi != 3 {
+		t.Fatalf("quantized range [%g,%g]", lo, hi)
+	}
+	h := im.Histogram(0)
+	if h.Distinct() != 4 {
+		t.Fatalf("distinct = %d", h.Distinct())
+	}
+	// Constant image quantizes to all zeros.
+	flat := New(4, 4, 1, Float)
+	for i := range flat.Pix {
+		flat.Pix[i] = 2.5
+	}
+	flat.Quantize(8)
+	if _, hi := flat.MinMax(0); hi != 0 {
+		t.Fatal("flat image quantization")
+	}
+}
+
+func TestEntropyWorkedExample(t *testing.T) {
+	// The paper's worked example: 256 evenly distributed grey levels give
+	// entropy 8; window entropies of small tiles are strictly smaller
+	// because most values have probability zero there.
+	im := New(256, 256, 1, Byte)
+	i := 0
+	for y := 0; y < 256; y++ {
+		for x := 0; x < 256; x++ {
+			im.Set(x, y, 0, float64(i%256))
+			i++
+		}
+	}
+	if e := im.Entropy(); math.Abs(e-8) > 1e-9 {
+		t.Fatalf("entropy = %g, want 8", e)
+	}
+	if w := im.WindowEntropy(8); w > 6.001 {
+		t.Fatalf("8x8 window entropy = %g, want <= 6", w)
+	}
+}
+
+func TestWindowEntropyBelowFull(t *testing.T) {
+	for _, in := range Catalog() {
+		full := in.Image.Entropy()
+		w16 := in.Image.WindowEntropy(16)
+		w8 := in.Image.WindowEntropy(8)
+		if w16 > full+1e-9 || w8 > w16+1e-9 {
+			t.Errorf("%s: entropies not decreasing: full %.2f w16 %.2f w8 %.2f",
+				in.Name, full, w16, w8)
+		}
+	}
+}
+
+func TestCatalogMatchesPaperEntropies(t *testing.T) {
+	for _, in := range Catalog() {
+		if in.TargetEntropy == 0 {
+			continue // FLOAT inputs: no paper entropy
+		}
+		got := in.Image.Entropy()
+		if math.Abs(got-in.TargetEntropy) > 0.5 {
+			t.Errorf("%s: entropy %.2f vs paper %.2f (tolerance 0.5)",
+				in.Name, got, in.TargetEntropy)
+		}
+	}
+}
+
+func TestCatalogGeometry(t *testing.T) {
+	dims := map[string][4]int{ // w, h, bands, kind
+		"mandrill":  {256, 256, 1, int(Byte)},
+		"Muppet1":   {256, 240, 1, int(Byte)},
+		"lablabel":  {243, 486, 1, int(Integer)},
+		"head":      {228, 256, 1, int(Float)},
+		"lenna.rgb": {480, 512, 3, int(Byte)},
+	}
+	for name, want := range dims {
+		in := Find(name)
+		if in == nil {
+			t.Errorf("missing catalog entry %s", name)
+			continue
+		}
+		if in.Image.W != want[0] || in.Image.H != want[1] ||
+			in.Image.Bands != want[2] || int(in.Image.Kind) != want[3] {
+			t.Errorf("%s geometry %dx%dx%d %v", name,
+				in.Image.W, in.Image.H, in.Image.Bands, in.Image.Kind)
+		}
+	}
+	if Find("nonexistent") != nil {
+		t.Error("Find invented an input")
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := Find("mandrill").Image
+	b := Find("mandrill").Image
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("catalog generation not deterministic")
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	p := Plasma(64, 48, 1, 0.6)
+	lo, hi := p.MinMax(0)
+	if lo < 0 || hi > 1 || hi-lo < 0.5 {
+		t.Errorf("plasma range [%g,%g]", lo, hi)
+	}
+	n := Noise(32, 32, 2)
+	if n.Histogram(0).Distinct() < 1000 {
+		t.Error("noise insufficiently random")
+	}
+	l := Labels(64, 64, 5, 3)
+	if d := l.Histogram(0).Distinct(); d != 5 {
+		t.Errorf("labels distinct = %d", d)
+	}
+	r := Ramp(8, 8)
+	if r.At(0, 0, 0) != 0 || r.At(7, 7, 0) != 1 {
+		t.Error("ramp endpoints")
+	}
+	g := GaussianBlobs(32, 32, 3, 4)
+	if _, hi := g.MinMax(0); hi <= 0 {
+		t.Error("blobs empty")
+	}
+	f := FractalBasin(64, 64, 5)
+	if f.Histogram(0).Distinct() < 3 {
+		t.Error("fractal degenerate")
+	}
+}
+
+func TestBlendAndMultiPanic(t *testing.T) {
+	mustPanic(t, func() { Blend(New(2, 2, 1, Float), New(3, 2, 1, Float), 1) })
+	mustPanic(t, func() { Multi() })
+	mustPanic(t, func() { Multi(New(2, 2, 1, Float), New(3, 2, 1, Float)) })
+	mustPanic(t, func() { New(2, 2, 1, Float).Quantize(1) })
+	mustPanic(t, func() { New(2, 2, 1, Float).WindowEntropy(0) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := New(13, 7, 1, Byte)
+	for y := 0; y < 7; y++ {
+		for x := 0; x < 13; x++ {
+			im.Set(x, y, 0, float64((x*19+y*7)%256))
+		}
+	}
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, im, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 13 || got.H != 7 {
+		t.Fatalf("decoded %dx%d", got.W, got.H)
+	}
+	for i := range im.Pix {
+		if im.Pix[i] != got.Pix[i] {
+			t.Fatalf("pixel %d: %g vs %g", i, im.Pix[i], got.Pix[i])
+		}
+	}
+}
+
+func TestPGMErrors(t *testing.T) {
+	if err := EncodePGM(&bytes.Buffer{}, New(2, 2, 1, Byte), 5); err == nil {
+		t.Error("bad band accepted")
+	}
+	if _, err := DecodePGM(bytes.NewReader([]byte("P6\n2 2\n255\n"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := DecodePGM(bytes.NewReader([]byte("P5\n2 2\n255\nX"))); err == nil {
+		t.Error("truncated raster accepted")
+	}
+	if _, err := DecodePGM(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(-1, 0, 1) != 0 || Clamp(2, 0, 1) != 1 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+}

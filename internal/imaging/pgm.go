@@ -1,0 +1,57 @@
+package imaging
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// PGM (portable graymap, P5) encoding for single-band byte images, so
+// generated inputs can be inspected with ordinary tools.
+
+// EncodePGM writes band b of the image as a binary PGM. Samples are
+// clamped to [0, 255].
+func EncodePGM(w io.Writer, im *Image, b int) error {
+	if b < 0 || b >= im.Bands {
+		return fmt.Errorf("imaging: band %d out of range", b)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			bw.WriteByte(byte(Clamp(im.At(x, y, b), 0, 255))) //nolint:errcheck
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePGM reads a binary PGM into a single-band Byte image.
+func DecodePGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, maxV int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &maxV); err != nil {
+		return nil, fmt.Errorf("imaging: bad PGM header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imaging: unsupported magic %q", magic)
+	}
+	if w <= 0 || h <= 0 || maxV <= 0 || maxV > 255 {
+		return nil, fmt.Errorf("imaging: bad PGM geometry %dx%d max %d", w, h, maxV)
+	}
+	// Single whitespace byte separates the header from raster data.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("imaging: bad PGM header: %w", err)
+	}
+	im := New(w, h, 1, Byte)
+	buf := make([]byte, w)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("imaging: truncated PGM raster: %w", err)
+		}
+		for x, v := range buf {
+			im.Set(x, y, 0, float64(v))
+		}
+	}
+	return im, nil
+}

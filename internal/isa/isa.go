@@ -1,0 +1,151 @@
+// Package isa defines the operation classes observed by the trace
+// instrumentation and the per-class latency models of the processors the
+// paper studies. It is the vocabulary shared by the probe (which emits
+// operations), the MEMO-TABLEs (which filter for the multi-cycle classes)
+// and the cycle simulator (which charges latencies).
+package isa
+
+import "fmt"
+
+// Op is an operation class, the granularity at which the paper's Shade
+// instrumentation classified SPARC instructions.
+type Op uint8
+
+// Operation classes. The first four are the memoizable multi-cycle classes
+// (FSqrt is the paper's first "future work" extension, implemented here);
+// the rest exist so whole applications can be cycle-accounted.
+const (
+	OpIMul  Op = iota // integer multiplication
+	OpFMul            // floating-point multiplication (double)
+	OpFDiv            // floating-point division (double)
+	OpFSqrt           // floating-point square root (double)
+
+	OpIAlu   // single-cycle integer ALU (add, sub, logic, shift)
+	OpFAdd   // floating-point add/subtract
+	OpLoad   // memory load
+	OpStore  // memory store
+	OpBranch // control transfer
+	OpNop    // annulled / no-op slots
+	NumOps   // count sentinel
+)
+
+// String returns the mnemonic used throughout reports.
+func (o Op) String() string {
+	switch o {
+	case OpIMul:
+		return "imul"
+	case OpFMul:
+		return "fmul"
+	case OpFDiv:
+		return "fdiv"
+	case OpFSqrt:
+		return "fsqrt"
+	case OpIAlu:
+		return "ialu"
+	case OpFAdd:
+		return "fadd"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Memoizable reports whether a MEMO-TABLE may shadow this class: the
+// multi-cycle arithmetic classes of §2.2.
+func (o Op) Memoizable() bool {
+	return o == OpIMul || o == OpFMul || o == OpFDiv || o == OpFSqrt
+}
+
+// Commutative reports whether operand order is irrelevant, in which case a
+// MEMO-TABLE lookup must compare both orders (§2.2).
+func (o Op) Commutative() bool {
+	return o == OpIMul || o == OpFMul
+}
+
+// Unary reports whether the class takes a single operand.
+func (o Op) Unary() bool { return o == OpFSqrt }
+
+// Processor is a per-class latency model. Latencies are instruction
+// latencies, as in the paper's Table 1; the cycle simulator charges them to
+// an in-order machine without multiple issue, matching §3.3's method
+// ("enhancements like multiple issue and pipelining aren't taken into
+// consideration").
+type Processor struct {
+	Name string
+	// Latency maps each op class to its cycle count. Loads use L1Hit as
+	// their latency on an L1 hit; the memory hierarchy adds miss penalties.
+	Latency [NumOps]int
+	// L1Hit, L2Hit and Mem are the load latencies at each hierarchy level.
+	L1Hit, L2Hit, Mem int
+}
+
+// LatencyOf returns the latency of op, defaulting to 1 for classes the
+// model leaves at zero.
+func (p *Processor) LatencyOf(op Op) int {
+	l := p.Latency[op]
+	if l <= 0 {
+		return 1
+	}
+	return l
+}
+
+// study returns the base machine used in the paper's speedup study, with
+// the multi-cycle latencies set per study point.
+func study(name string, imul, fmul, fdiv, fsqrt int) Processor {
+	p := Processor{
+		Name:  name,
+		L1Hit: 1, L2Hit: 6, Mem: 30,
+	}
+	p.Latency[OpIMul] = imul
+	p.Latency[OpFMul] = fmul
+	p.Latency[OpFDiv] = fdiv
+	p.Latency[OpFSqrt] = fsqrt
+	p.Latency[OpIAlu] = 1
+	p.Latency[OpFAdd] = 2
+	p.Latency[OpLoad] = 1
+	p.Latency[OpStore] = 1
+	p.Latency[OpBranch] = 1
+	p.Latency[OpNop] = 1
+	return p
+}
+
+// FastFP is the paper's fast study machine: fmul 3, fdiv 13 (§3.3,
+// Tables 11–13 left columns).
+func FastFP() Processor { return study("fast-fp (3/13)", 5, 3, 13, 17) }
+
+// SlowFP is the paper's slow study machine: fmul 5, fdiv 39 (§3.3,
+// Tables 11–13 right columns).
+func SlowFP() Processor { return study("slow-fp (5/39)", 10, 5, 39, 50) }
+
+// WithFPLatencies returns a copy of p with the fmul/fdiv latencies
+// replaced; used for the 13-vs-39 and 3-vs-5 cycle sweeps.
+func (p Processor) WithFPLatencies(fmul, fdiv int) Processor {
+	p.Latency[OpFMul] = fmul
+	p.Latency[OpFDiv] = fdiv
+	return p
+}
+
+// Table1Processors reproduces the paper's Table 1: double-precision
+// multiplication and division latencies of six leading microprocessors
+// (1998).
+func Table1Processors() []Processor {
+	mk := func(name string, fmul, fdiv int) Processor {
+		p := study(name, fmul+2, fmul, fdiv, fdiv+8)
+		return p
+	}
+	return []Processor{
+		mk("Pentium Pro", 3, 39),
+		mk("Alpha 21164", 4, 31),
+		mk("MIPS R10000", 2, 40),
+		mk("PPC 604e", 5, 31),
+		mk("UltraSparc-II", 3, 22),
+		mk("PA 8000", 5, 31),
+	}
+}

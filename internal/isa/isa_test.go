@@ -1,0 +1,108 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if seen[s] {
+			t.Errorf("duplicate mnemonic %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Error("unknown op not reported")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	memoizable := map[Op]bool{OpIMul: true, OpFMul: true, OpFDiv: true, OpFSqrt: true}
+	commutative := map[Op]bool{OpIMul: true, OpFMul: true}
+	for op := Op(0); op < NumOps; op++ {
+		if op.Memoizable() != memoizable[op] {
+			t.Errorf("%v: Memoizable = %v", op, op.Memoizable())
+		}
+		if op.Commutative() != commutative[op] {
+			t.Errorf("%v: Commutative = %v", op, op.Commutative())
+		}
+		if op.Unary() != (op == OpFSqrt) {
+			t.Errorf("%v: Unary = %v", op, op.Unary())
+		}
+	}
+}
+
+func TestStudyMachines(t *testing.T) {
+	fast, slow := FastFP(), SlowFP()
+	if fast.Latency[OpFMul] != 3 || fast.Latency[OpFDiv] != 13 {
+		t.Errorf("fast machine latencies %d/%d, want 3/13",
+			fast.Latency[OpFMul], fast.Latency[OpFDiv])
+	}
+	if slow.Latency[OpFMul] != 5 || slow.Latency[OpFDiv] != 39 {
+		t.Errorf("slow machine latencies %d/%d, want 5/39",
+			slow.Latency[OpFMul], slow.Latency[OpFDiv])
+	}
+	for _, p := range []Processor{fast, slow} {
+		if p.L1Hit <= 0 || p.L2Hit <= p.L1Hit || p.Mem <= p.L2Hit {
+			t.Errorf("%s: hierarchy latencies not increasing", p.Name)
+		}
+		for op := Op(0); op < NumOps; op++ {
+			if p.LatencyOf(op) < 1 {
+				t.Errorf("%s: latency of %v < 1", p.Name, op)
+			}
+		}
+	}
+}
+
+func TestWithFPLatencies(t *testing.T) {
+	p := FastFP().WithFPLatencies(7, 21)
+	if p.Latency[OpFMul] != 7 || p.Latency[OpFDiv] != 21 {
+		t.Fatal("WithFPLatencies did not apply")
+	}
+	if FastFP().Latency[OpFMul] != 3 {
+		t.Fatal("WithFPLatencies mutated the source")
+	}
+}
+
+func TestTable1Processors(t *testing.T) {
+	ps := Table1Processors()
+	if len(ps) != 6 {
+		t.Fatalf("%d processors, want 6", len(ps))
+	}
+	want := map[string][2]int{
+		"Pentium Pro":   {3, 39},
+		"Alpha 21164":   {4, 31},
+		"MIPS R10000":   {2, 40},
+		"PPC 604e":      {5, 31},
+		"UltraSparc-II": {3, 22},
+		"PA 8000":       {5, 31},
+	}
+	for _, p := range ps {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected processor %q", p.Name)
+			continue
+		}
+		if p.Latency[OpFMul] != w[0] || p.Latency[OpFDiv] != w[1] {
+			t.Errorf("%s: %d/%d, want %d/%d", p.Name,
+				p.Latency[OpFMul], p.Latency[OpFDiv], w[0], w[1])
+		}
+		// Division is the slow operation on every 1998 machine.
+		if p.Latency[OpFDiv] <= p.Latency[OpFMul] {
+			t.Errorf("%s: fdiv not slower than fmul", p.Name)
+		}
+	}
+}
+
+func TestLatencyOfDefaultsToOne(t *testing.T) {
+	var p Processor
+	if p.LatencyOf(OpFDiv) != 1 {
+		t.Fatal("zero latency must default to 1")
+	}
+}

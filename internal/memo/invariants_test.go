@@ -1,0 +1,199 @@
+package memo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memotable/internal/isa"
+)
+
+// Invariant and property tests over the MEMO-TABLE's bookkeeping, beyond
+// the behavioural cases in table_test.go.
+
+func TestInsertEvictionConservation(t *testing.T) {
+	// For any finite table and any access stream:
+	//   valid entries == inserts - evictions, and never exceeds capacity.
+	cfgs := []Config{
+		{Entries: 8, Ways: 1}, {Entries: 32, Ways: 4},
+		{Entries: 16, Ways: 16}, {Entries: 64, Ways: 2},
+	}
+	for _, cfg := range cfgs {
+		tab := New(isa.OpFMul, cfg)
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < 5000; i++ {
+			a := math.Float64bits(float64(rng.Intn(200)) + 0.5)
+			b := math.Float64bits(float64(rng.Intn(20)) + 0.5)
+			tab.Access(a, b, func() uint64 { return a ^ b })
+		}
+		st := tab.Stats()
+		if got := uint64(tab.Len()); got != st.Inserts-st.Evictions {
+			t.Errorf("%+v: Len %d != inserts %d - evictions %d",
+				cfg, got, st.Inserts, st.Evictions)
+		}
+		if tab.Len() > cfg.Entries {
+			t.Errorf("%+v: Len %d exceeds capacity", cfg, tab.Len())
+		}
+		if st.Lookups != st.Hits+st.Misses {
+			t.Errorf("%+v: lookups %d != hits+misses %d",
+				cfg, st.Lookups, st.Hits+st.Misses)
+		}
+	}
+}
+
+func TestHitImpliesPriorIdenticalAccess(t *testing.T) {
+	// Property: a hit's returned value always equals what compute would
+	// produce, for any stream drawn from a small operand universe (which
+	// maximizes hits and evictions simultaneously).
+	f := func(seed int64) bool {
+		tab := New(isa.OpFDiv, Config{Entries: 8, Ways: 2})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			a := float64(rng.Intn(12)) + 2
+			b := float64(rng.Intn(5)) + 2
+			ab, bb := math.Float64bits(a), math.Float64bits(b)
+			res, _ := tab.Access(ab, bb, func() uint64 {
+				return math.Float64bits(a / b)
+			})
+			if res != math.Float64bits(a/b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallerTableNeverBeatsInfinite(t *testing.T) {
+	// Property: on any stream, the infinite table's hit count dominates
+	// any finite table's (inclusion-like property; holds because the
+	// infinite table never evicts).
+	f := func(seed int64) bool {
+		small := New(isa.OpFMul, Config{Entries: 8, Ways: 2})
+		inf := New(isa.OpFMul, Infinite())
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			a := math.Float64bits(float64(rng.Intn(40)) + 1.5)
+			b := math.Float64bits(float64(rng.Intn(7)) + 1.5)
+			small.Lookup(a, b)
+			small.Insert(a, b, a^b)
+			inf.Lookup(a, b)
+			inf.Insert(a, b, a^b)
+		}
+		return inf.Stats().Hits >= small.Stats().Hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUInclusionAtFixedSetCount(t *testing.T) {
+	// LRU is a stack algorithm per set: at a FIXED set count, adding ways
+	// can never lose hits (each set's smaller LRU stack is a prefix of
+	// the larger one). Note this inclusion does NOT hold between, say,
+	// direct-mapped and fully associative tables of equal capacity —
+	// cyclic streams larger than capacity thrash global LRU while a
+	// partitioned table retains some residents.
+	f := func(seed int64) bool {
+		small := New(isa.OpFDiv, Config{Entries: 32, Ways: 2}) // 16 sets
+		big := New(isa.OpFDiv, Config{Entries: 64, Ways: 4})   // 16 sets
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			a := math.Float64bits(float64(rng.Intn(48)) + 1.25)
+			b := math.Float64bits(float64(rng.Intn(3)) + 1.25)
+			for _, tab := range []*Table{small, big} {
+				tab.Access(a, b, func() uint64 { return a + b })
+			}
+		}
+		return big.Stats().Hits >= small.Stats().Hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutativeHitCountMonotone(t *testing.T) {
+	// The commutative double compare can only add hits relative to
+	// ordered-only lookup, on any stream.
+	f := func(seed int64) bool {
+		with := New(isa.OpFMul, Config{Entries: 16, Ways: 4})
+		cfgOff := Config{Entries: 16, Ways: 4, NoCommutativeLookup: true}
+		without := New(isa.OpFMul, cfgOff)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 400; i++ {
+			a := math.Float64bits(float64(rng.Intn(10)) + 1.5)
+			b := math.Float64bits(float64(rng.Intn(10)) + 1.5)
+			with.Access(a, b, func() uint64 { return a ^ b })
+			without.Access(a, b, func() uint64 { return a ^ b })
+		}
+		return with.Stats().Hits >= without.Stats().Hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMantissaModeSupersetOfFullTags(t *testing.T) {
+	// Mantissa tags merge full-value tags that differ only in exponent or
+	// sign, so on normal-valued streams the mantissa table's hits
+	// dominate the full table's at equal geometry.
+	rng := rand.New(rand.NewSource(34))
+	fullCfg := Paper32x4()
+	mantCfg := Paper32x4()
+	mantCfg.MantissaOnly = true
+	full := New(isa.OpFMul, fullCfg)
+	mant := New(isa.OpFMul, mantCfg)
+	for i := 0; i < 20000; i++ {
+		// Values sharing 8 mantissas across 4 exponents.
+		a := math.Ldexp(1+float64(rng.Intn(8))/8, rng.Intn(4))
+		b := math.Ldexp(1+float64(rng.Intn(8))/8, rng.Intn(4))
+		ab, bb := math.Float64bits(a), math.Float64bits(b)
+		full.Access(ab, bb, func() uint64 { return math.Float64bits(a * b) })
+		mant.Access(ab, bb, func() uint64 { return math.Float64bits(a * b) })
+	}
+	if mant.Stats().Hits < full.Stats().Hits {
+		t.Errorf("mantissa tags %d hits < full tags %d hits",
+			mant.Stats().Hits, full.Stats().Hits)
+	}
+}
+
+func TestUnarySqrtIgnoresSecondOperand(t *testing.T) {
+	tab := New(isa.OpFSqrt, Paper32x4())
+	a := math.Float64bits(9.0)
+	tab.Insert(a, 0, math.Float64bits(3.0))
+	if _, hit := tab.Lookup(a, 0); !hit {
+		t.Fatal("sqrt entry not found")
+	}
+}
+
+func TestStressManyConfigsNoPanic(t *testing.T) {
+	// Exhaustive geometry sweep with a mixed special-value stream: no
+	// configuration may panic or mis-handle specials.
+	specials := []float64{0, math.Copysign(0, -1), 1, -1, math.Inf(1),
+		math.Inf(-1), math.NaN(), math.Float64frombits(1), 1e308, 1e-308}
+	for _, entries := range []int{8, 32, 128} {
+		for _, ways := range []int{1, 2, 4} {
+			for _, mant := range []bool{false, true} {
+				cfg := Config{Entries: entries, Ways: ways, MantissaOnly: mant}
+				for _, op := range []isa.Op{isa.OpFMul, isa.OpFDiv, isa.OpFSqrt, isa.OpIMul} {
+					u := NewUnit(New(op, cfg), Integrated, nil)
+					for _, a := range specials {
+						for _, b := range specials {
+							aa, bb := math.Float64bits(a), math.Float64bits(b)
+							if op == isa.OpIMul {
+								aa, bb = uint64(int64(a)), uint64(int64(b))
+							}
+							if op.Unary() {
+								bb = 0
+							}
+							u.Apply(aa, bb)
+						}
+					}
+				}
+			}
+		}
+	}
+}

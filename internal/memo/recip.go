@@ -1,0 +1,85 @@
+package memo
+
+import (
+	"math"
+
+	"memotable/internal/arith"
+	"memotable/internal/isa"
+)
+
+// RecipCache is the reciprocal cache of Oberman & Flynn ("Reducing
+// Division Latency with Reciprocal Caches", 1996), the closest prior
+// technique the paper cites (§1.1). Instead of memoizing full
+// (dividend, divisor) -> quotient tuples, it caches the divisor's
+// reciprocal: a hit converts the division a/b into the multiply a*(1/b),
+// completing in the multiplier's latency rather than one cycle, and is
+// insensitive to the dividend — so its hit ratio upper-bounds any
+// divisor-reuse scheme while its per-hit saving is smaller than a
+// MEMO-TABLE's.
+//
+// The reproduction implements it as a comparison baseline with the same
+// geometry vocabulary (entries, ways, LRU) as a MEMO-TABLE.
+//
+// Accuracy note: a*(1/b) can differ from the correctly rounded a/b in the
+// last place (double rounding); the hardware proposal pairs the cache
+// with a correction step. Apply therefore always returns the correctly
+// rounded quotient and reports whether the fast path supplied it, and
+// RoundingMismatch counts how often the uncorrected fast path would have
+// been off — a measurable cost of the baseline.
+type RecipCache struct {
+	table            *Table
+	divisions        uint64
+	trivial          uint64
+	roundingMismatch uint64
+}
+
+// NewRecipCache builds a reciprocal cache with the given geometry. The
+// MantissaOnly and NoCommutativeLookup options do not apply and must be
+// unset.
+func NewRecipCache(cfg Config) *RecipCache {
+	if cfg.MantissaOnly || cfg.NoCommutativeLookup {
+		panic("memo: RecipCache supports only plain geometries")
+	}
+	// The Table machinery is reused with the divisor as the whole key:
+	// OpFSqrt gives unary (single-operand) probing semantics.
+	return &RecipCache{table: New(isa.OpFSqrt, cfg)}
+}
+
+// Apply runs one division through the cache. It returns the correctly
+// rounded quotient and whether the reciprocal was supplied by the cache
+// (so the operation completes in multiply latency rather than divide
+// latency).
+func (rc *RecipCache) Apply(a, b float64) (float64, bool) {
+	rc.divisions++
+	exact := a / b
+	if tr, _ := arith.ClassifyFDiv(a, b); tr.Trivial() {
+		rc.trivial++
+		return exact, false
+	}
+	bBits := math.Float64bits(b)
+	recipBits, hit := rc.table.Access(bBits, 0, func() uint64 {
+		return math.Float64bits(1 / b)
+	})
+	if hit {
+		fast := a * math.Float64frombits(recipBits)
+		if math.Float64bits(fast) != math.Float64bits(exact) {
+			rc.roundingMismatch++
+		}
+	}
+	return exact, hit
+}
+
+// Stats exposes the underlying divisor table's counters.
+func (rc *RecipCache) Stats() Stats { return rc.table.Stats() }
+
+// HitRatio is the fraction of non-trivial divisions served from the
+// cache.
+func (rc *RecipCache) HitRatio() float64 { return rc.table.Stats().HitRatio() }
+
+// Divisions returns the number of divisions presented.
+func (rc *RecipCache) Divisions() uint64 { return rc.divisions }
+
+// RoundingMismatch returns how many hits would have produced a result
+// differing from the correctly rounded quotient without a correction
+// step.
+func (rc *RecipCache) RoundingMismatch() uint64 { return rc.roundingMismatch }

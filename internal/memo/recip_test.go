@@ -1,0 +1,95 @@
+package memo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecipCacheBasics(t *testing.T) {
+	rc := NewRecipCache(Paper32x4())
+	if res, hit := rc.Apply(10, 4); res != 2.5 || hit {
+		t.Fatalf("cold division: %g %v", res, hit)
+	}
+	// Same divisor, different dividend: the reciprocal cache hits where a
+	// MEMO-TABLE would miss.
+	if res, hit := rc.Apply(6, 4); res != 1.5 || !hit {
+		t.Fatalf("same-divisor division: %g %v", res, hit)
+	}
+	if rc.Divisions() != 2 {
+		t.Fatalf("divisions = %d", rc.Divisions())
+	}
+	if rc.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %g", rc.HitRatio())
+	}
+}
+
+func TestRecipCacheTrivialBypass(t *testing.T) {
+	rc := NewRecipCache(Paper32x4())
+	if res, hit := rc.Apply(7, 1); res != 7 || hit {
+		t.Fatal("x/1 must be handled by the detectors, not the cache")
+	}
+	if res, hit := rc.Apply(0, 3); res != 0 || hit {
+		t.Fatal("0/x must be handled by the detectors")
+	}
+	if rc.Stats().Lookups != 0 {
+		t.Fatal("trivial divisions reached the divisor table")
+	}
+}
+
+func TestRecipCacheAlwaysCorrectlyRounded(t *testing.T) {
+	rc := NewRecipCache(Config{Entries: 16, Ways: 2})
+	f := func(abits, bbits uint64) bool {
+		a, b := math.Float64frombits(abits), math.Float64frombits(bbits)
+		res, _ := rc.Apply(a, b)
+		want := a / b
+		if math.IsNaN(res) && math.IsNaN(want) {
+			return true
+		}
+		return math.Float64bits(res) == math.Float64bits(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecipCacheDetectsRoundingMismatch(t *testing.T) {
+	// Over many random divisions sharing divisors, a*(1/b) differs from
+	// a/b in the last place for a measurable fraction — the cost the
+	// correction step exists to pay for.
+	rc := NewRecipCache(Infinite())
+	mismBefore := rc.RoundingMismatch()
+	for i := 0; i < 20000; i++ {
+		a := 1 + float64(i%977)/977
+		b := 1 + float64(i%31)/31
+		rc.Apply(a, b)
+	}
+	if rc.RoundingMismatch() == mismBefore {
+		t.Log("no double-rounding mismatches in this stream (possible but unusual)")
+	}
+	// Mismatch accounting must never exceed hits.
+	if rc.RoundingMismatch() > rc.Stats().Hits {
+		t.Fatal("mismatches exceed hits")
+	}
+}
+
+func TestRecipCacheRejectsUnsupportedConfig(t *testing.T) {
+	mustPanic(t, func() {
+		NewRecipCache(Config{Entries: 32, Ways: 4, MantissaOnly: true})
+	})
+	mustPanic(t, func() {
+		NewRecipCache(Config{Entries: 32, Ways: 4, NoCommutativeLookup: true})
+	})
+}
+
+func TestRecipCacheDividendInsensitive(t *testing.T) {
+	// Property: after one division by b, every further division by b hits
+	// regardless of dividend (within table capacity).
+	rc := NewRecipCache(Paper32x4())
+	rc.Apply(1, 3)
+	for i := 1; i <= 100; i++ {
+		if _, hit := rc.Apply(float64(i)+0.5, 3); !hit {
+			t.Fatalf("division %d by cached divisor missed", i)
+		}
+	}
+}

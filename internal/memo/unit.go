@@ -1,0 +1,187 @@
+package memo
+
+import (
+	"math"
+
+	"memotable/internal/arith"
+	"memotable/internal/isa"
+)
+
+// Outcome classifies how an operation presented to a memo-enhanced
+// computation unit was satisfied.
+type Outcome int
+
+const (
+	// Miss: the multi-cycle unit performed the computation (and the
+	// result was inserted into the table).
+	Miss Outcome = iota
+	// Hit: the MEMO-TABLE supplied the result in a single cycle.
+	Hit
+	// Trivial: the trivial-operand detectors answered (Integrated
+	// policy), or the operation was excluded from the table
+	// (NonTrivialOnly policy) and computed by its short path.
+	Trivial
+	// Bypass: the operands cannot be tagged (mantissa-only mode specials)
+	// and went straight to the unit.
+	Bypass
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Trivial:
+		return "trivial"
+	case Bypass:
+		return "bypass"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// Unit is a computation unit with an adjacent MEMO-TABLE, the arrangement
+// of Figure 1: operands forwarded in parallel to the unit and the table,
+// the unit aborted on a hit. Compute supplies the unit semantics on raw
+// bit patterns; if nil, the host FPU is used.
+type Unit struct {
+	table   *Table
+	policy  TrivialPolicy
+	compute func(a, b uint64) uint64
+
+	// Counters for the Table 9 policy comparison.
+	totalOps   uint64
+	trivialOps uint64
+}
+
+// NewUnit wires a table to a unit. compute may be nil to use host
+// arithmetic (the common case for trace capture; the arith package units
+// can be supplied to model real datapaths).
+func NewUnit(table *Table, policy TrivialPolicy, compute func(a, b uint64) uint64) *Unit {
+	if table == nil {
+		panic("memo: NewUnit requires a table")
+	}
+	u := &Unit{table: table, policy: policy, compute: compute}
+	if u.compute == nil {
+		u.compute = hostCompute(table.Op())
+	}
+	return u
+}
+
+func hostCompute(op isa.Op) func(a, b uint64) uint64 {
+	switch op {
+	case isa.OpIMul:
+		return func(a, b uint64) uint64 {
+			return uint64(int64(a) * int64(b))
+		}
+	case isa.OpFMul:
+		return func(a, b uint64) uint64 {
+			return math.Float64bits(math.Float64frombits(a) * math.Float64frombits(b))
+		}
+	case isa.OpFDiv:
+		return func(a, b uint64) uint64 {
+			return math.Float64bits(math.Float64frombits(a) / math.Float64frombits(b))
+		}
+	case isa.OpFSqrt:
+		return func(a, _ uint64) uint64 {
+			return math.Float64bits(math.Sqrt(math.Float64frombits(a)))
+		}
+	default:
+		panic("memo: no host semantics for op " + op.String())
+	}
+}
+
+// Table returns the unit's MEMO-TABLE.
+func (u *Unit) Table() *Table { return u.table }
+
+// Policy returns the unit's trivial-operation policy.
+func (u *Unit) Policy() TrivialPolicy { return u.policy }
+
+// TotalOps returns the number of operations presented to the unit.
+func (u *Unit) TotalOps() uint64 { return u.totalOps }
+
+// TrivialOps returns how many presented operations were trivial.
+func (u *Unit) TrivialOps() uint64 { return u.trivialOps }
+
+// Apply presents an operand pair (raw bit patterns; b must be 0 for unary
+// classes) to the unit+table pair and returns the result bits and how they
+// were obtained.
+func (u *Unit) Apply(a, b uint64) (uint64, Outcome) {
+	u.totalOps++
+	trivial, trivialResult := u.classify(a, b)
+	if trivial {
+		u.trivialOps++
+		switch u.policy {
+		case Integrated:
+			// Detected ahead of the table; counted as a table-level
+			// trivial answer, never inserted.
+			u.table.stats.Trivial++
+			return trivialResult, Trivial
+		case NonTrivialOnly:
+			// Excluded from the table; the short-latency path computes.
+			u.table.stats.Trivial++
+			return trivialResult, Trivial
+		}
+		// CacheAll falls through: trivial ops use the table like any op.
+	}
+	res, hit := u.table.Access(a, b, func() uint64 { return u.compute(a, b) })
+	if hit {
+		return res, Hit
+	}
+	return res, Miss
+}
+
+// classify runs the trivial-operand detectors for the unit's class.
+func (u *Unit) classify(a, b uint64) (bool, uint64) {
+	switch u.table.Op() {
+	case isa.OpIMul:
+		tr, res := arith.ClassifyIMul(int64(a), int64(b))
+		return tr.Trivial(), uint64(res)
+	case isa.OpFMul:
+		tr, res := arith.ClassifyFMul(math.Float64frombits(a), math.Float64frombits(b))
+		return tr.Trivial(), math.Float64bits(res)
+	case isa.OpFDiv:
+		tr, res := arith.ClassifyFDiv(math.Float64frombits(a), math.Float64frombits(b))
+		return tr.Trivial(), math.Float64bits(res)
+	case isa.OpFSqrt:
+		tr, res := arith.ClassifyFSqrt(math.Float64frombits(a))
+		return tr.Trivial(), math.Float64bits(res)
+	}
+	return false, 0
+}
+
+// FMul runs a floating-point multiplication through the unit.
+func (u *Unit) FMul(a, b float64) (float64, Outcome) {
+	u.mustOp(isa.OpFMul)
+	r, o := u.Apply(math.Float64bits(a), math.Float64bits(b))
+	return math.Float64frombits(r), o
+}
+
+// FDiv runs a floating-point division through the unit.
+func (u *Unit) FDiv(a, b float64) (float64, Outcome) {
+	u.mustOp(isa.OpFDiv)
+	r, o := u.Apply(math.Float64bits(a), math.Float64bits(b))
+	return math.Float64frombits(r), o
+}
+
+// FSqrt runs a floating-point square root through the unit.
+func (u *Unit) FSqrt(a float64) (float64, Outcome) {
+	u.mustOp(isa.OpFSqrt)
+	r, o := u.Apply(math.Float64bits(a), 0)
+	return math.Float64frombits(r), o
+}
+
+// IMul runs an integer multiplication through the unit.
+func (u *Unit) IMul(a, b int64) (int64, Outcome) {
+	u.mustOp(isa.OpIMul)
+	r, o := u.Apply(uint64(a), uint64(b))
+	return int64(r), o
+}
+
+func (u *Unit) mustOp(op isa.Op) {
+	if u.table.Op() != op {
+		panic("memo: unit serves " + u.table.Op().String() + ", not " + op.String())
+	}
+}

@@ -1,0 +1,106 @@
+// Package probe is the instrumented arithmetic layer the workloads compute
+// through. Every operation both produces its ordinary result and emits a
+// trace.Event, so running a workload *is* capturing its trace — the role
+// Shade played for the paper's SPARC binaries.
+//
+// The probe is deliberately free of MEMO-TABLE knowledge: tables, cycle
+// models and trace files all attach as sinks, keeping the workload code a
+// faithful expression of its algorithm.
+package probe
+
+import (
+	"math"
+
+	"memotable/internal/isa"
+	"memotable/internal/trace"
+)
+
+// Probe instruments arithmetic, memory and control operations.
+type Probe struct {
+	sink trace.Sink
+}
+
+// New builds a probe feeding the given sinks. With no sinks the probe
+// computes without recording (useful for warming reference outputs).
+func New(sinks ...trace.Sink) *Probe {
+	switch len(sinks) {
+	case 0:
+		return &Probe{}
+	case 1:
+		return &Probe{sink: sinks[0]}
+	default:
+		return &Probe{sink: trace.Multi(sinks)}
+	}
+}
+
+func (p *Probe) emit(op isa.Op, a, b uint64) {
+	if p.sink != nil {
+		p.sink.Emit(trace.Event{Op: op, A: a, B: b})
+	}
+}
+
+// FMul performs and records a floating-point multiplication.
+func (p *Probe) FMul(a, b float64) float64 {
+	p.emit(isa.OpFMul, math.Float64bits(a), math.Float64bits(b))
+	return a * b
+}
+
+// FDiv performs and records a floating-point division.
+func (p *Probe) FDiv(a, b float64) float64 {
+	p.emit(isa.OpFDiv, math.Float64bits(a), math.Float64bits(b))
+	return a / b
+}
+
+// FSqrt performs and records a floating-point square root.
+func (p *Probe) FSqrt(a float64) float64 {
+	p.emit(isa.OpFSqrt, math.Float64bits(a), 0)
+	return math.Sqrt(a)
+}
+
+// FAdd performs and records a floating-point addition.
+func (p *Probe) FAdd(a, b float64) float64 {
+	p.emit(isa.OpFAdd, math.Float64bits(a), math.Float64bits(b))
+	return a + b
+}
+
+// FSub performs and records a floating-point subtraction (same unit class
+// as addition).
+func (p *Probe) FSub(a, b float64) float64 {
+	p.emit(isa.OpFAdd, math.Float64bits(a), math.Float64bits(b))
+	return a - b
+}
+
+// IMul performs and records an integer multiplication.
+func (p *Probe) IMul(a, b int64) int64 {
+	p.emit(isa.OpIMul, uint64(a), uint64(b))
+	return a * b
+}
+
+// IAlu records a single-cycle integer operation (add, compare, shift,
+// address arithmetic) without modelling its value.
+func (p *Probe) IAlu() { p.emit(isa.OpIAlu, 0, 0) }
+
+// IAdd performs and records an integer addition as an IAlu operation.
+func (p *Probe) IAdd(a, b int64) int64 {
+	p.emit(isa.OpIAlu, uint64(a), uint64(b))
+	return a + b
+}
+
+// Load records a memory read at the given byte address.
+func (p *Probe) Load(addr uint64) { p.emit(isa.OpLoad, addr, 0) }
+
+// Store records a memory write at the given byte address.
+func (p *Probe) Store(addr uint64) { p.emit(isa.OpStore, addr, 0) }
+
+// LoadF records a load and returns the value unchanged: sugar for reading
+// a modelled array element.
+func (p *Probe) LoadF(addr uint64, v float64) float64 {
+	p.Load(addr)
+	return v
+}
+
+// Branch records a control transfer.
+func (p *Probe) Branch() { p.emit(isa.OpBranch, 0, 0) }
+
+// Nop records an annulled pipeline slot.
+func (p *Probe) Nop() { p.emit(isa.OpNop, 0, 0) }

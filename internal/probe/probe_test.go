@@ -1,0 +1,85 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"memotable/internal/isa"
+	"memotable/internal/trace"
+)
+
+func TestProbeComputesAndRecords(t *testing.T) {
+	var rec trace.Recorder
+	p := New(&rec)
+
+	if got := p.FMul(3, 4); got != 12 {
+		t.Errorf("FMul = %g", got)
+	}
+	if got := p.FDiv(10, 4); got != 2.5 {
+		t.Errorf("FDiv = %g", got)
+	}
+	if got := p.FSqrt(9); got != 3 {
+		t.Errorf("FSqrt = %g", got)
+	}
+	if got := p.FAdd(1, 2); got != 3 {
+		t.Errorf("FAdd = %g", got)
+	}
+	if got := p.FSub(5, 2); got != 3 {
+		t.Errorf("FSub = %g", got)
+	}
+	if got := p.IMul(-6, 7); got != -42 {
+		t.Errorf("IMul = %d", got)
+	}
+	if got := p.IAdd(6, 7); got != 13 {
+		t.Errorf("IAdd = %d", got)
+	}
+	p.Load(0x1000)
+	p.Store(0x2000)
+	p.Branch()
+	p.Nop()
+	p.IAlu()
+	if got := p.LoadF(0x3000, 1.5); got != 1.5 {
+		t.Errorf("LoadF = %g", got)
+	}
+
+	wantOps := []isa.Op{
+		isa.OpFMul, isa.OpFDiv, isa.OpFSqrt, isa.OpFAdd, isa.OpFAdd,
+		isa.OpIMul, isa.OpIAlu, isa.OpLoad, isa.OpStore, isa.OpBranch,
+		isa.OpNop, isa.OpIAlu, isa.OpLoad,
+	}
+	if len(rec.Events) != len(wantOps) {
+		t.Fatalf("recorded %d events, want %d", len(rec.Events), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if rec.Events[i].Op != op {
+			t.Errorf("event %d: op %v, want %v", i, rec.Events[i].Op, op)
+		}
+	}
+	// Operand encoding spot checks.
+	if rec.Events[0].A != math.Float64bits(3) || rec.Events[0].B != math.Float64bits(4) {
+		t.Error("FMul operands misencoded")
+	}
+	if rec.Events[5].A != ^uint64(5) {
+		t.Error("IMul negative operand misencoded")
+	}
+	if rec.Events[7].A != 0x1000 {
+		t.Error("Load address misencoded")
+	}
+}
+
+func TestProbeNoSinks(t *testing.T) {
+	p := New()
+	if got := p.FMul(2, 8); got != 16 {
+		t.Fatalf("FMul without sinks = %g", got)
+	}
+}
+
+func TestProbeMultipleSinks(t *testing.T) {
+	var a, b trace.Counter
+	p := New(&a, &b)
+	p.FDiv(1, 3)
+	p.FDiv(1, 7)
+	if a.Of(isa.OpFDiv) != 2 || b.Of(isa.OpFDiv) != 2 {
+		t.Fatalf("fanout counts %d,%d", a.Of(isa.OpFDiv), b.Of(isa.OpFDiv))
+	}
+}

@@ -1,0 +1,150 @@
+// Package reuse implements the Dynamic Instruction Reuse buffer of
+// Sodani & Sohi (ISCA 1997), the general-purpose value-reuse scheme the
+// paper differentiates itself from in §1.1. A Reuse Buffer (RB) is
+// indexed by the *instruction's address*: an entry holds the PC, the
+// operand values and the result, and a fetch whose PC and operands match
+// skips execution.
+//
+// The paper's two arguments against the RB for multi-cycle arithmetic are
+// implemented and measurable here:
+//
+//  1. the RB records every instruction class, so single-cycle operations
+//     bump multi-cycle ones out of the buffer;
+//  2. the RB keys on the address, so a compiler-unrolled loop executes
+//     the same computation at several PCs and misses where a value-keyed
+//     MEMO-TABLE hits.
+package reuse
+
+import (
+	"fmt"
+
+	"memotable/internal/isa"
+)
+
+// Instruction is one dynamic instruction as the reuse buffer sees it:
+// its static address and its operand values.
+type Instruction struct {
+	PC   uint64
+	Op   isa.Op
+	A, B uint64
+}
+
+// Stats counts buffer events.
+type Stats struct {
+	Fetches   uint64 // instructions presented
+	Hits      uint64 // PC and operands matched: execution skipped
+	PCMisses  uint64 // no entry for this PC in the indexed set
+	ValMisses uint64 // PC matched but operands differed
+	Evictions uint64
+}
+
+// HitRatio returns Hits/Fetches.
+func (s Stats) HitRatio() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Fetches)
+}
+
+// Buffer is a set-associative reuse buffer with LRU replacement, indexed
+// by PC bits (instructions, unlike operand values, index by address).
+type Buffer struct {
+	numSets int
+	ways    int
+	sets    [][]entry // MRU-first
+	stats   Stats
+	// OnlyOps, when non-nil, restricts insertion to the listed classes —
+	// the hybrid the paper's first critique suggests. All classes still
+	// count as fetches.
+	only map[isa.Op]bool
+}
+
+type entry struct {
+	pc     uint64
+	a, b   uint64
+	result uint64
+	valid  bool
+}
+
+// New builds a reuse buffer with entries/ways geometry. Entries must be a
+// power of two and divisible by ways.
+func New(entries, ways int) *Buffer {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("reuse: entries %d not a positive power of two", entries))
+	}
+	if ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("reuse: bad associativity %d for %d entries", ways, entries))
+	}
+	numSets := entries / ways
+	if numSets&(numSets-1) != 0 {
+		panic("reuse: set count not a power of two")
+	}
+	b := &Buffer{numSets: numSets, ways: ways}
+	b.sets = make([][]entry, numSets)
+	backing := make([]entry, entries)
+	for i := range b.sets {
+		b.sets[i], backing = backing[:ways], backing[ways:]
+	}
+	return b
+}
+
+// Restrict limits insertion to the given classes (the memo-like hybrid).
+func (b *Buffer) Restrict(ops ...isa.Op) {
+	b.only = make(map[isa.Op]bool, len(ops))
+	for _, op := range ops {
+		b.only[op] = true
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// index hashes a PC to its set: word-aligned instruction addresses use
+// the low bits above the alignment.
+func (b *Buffer) index(pc uint64) int {
+	return int((pc >> 2) & uint64(b.numSets-1))
+}
+
+// Fetch presents one dynamic instruction; compute supplies the execution
+// result on a miss. It returns the result and whether execution was
+// skipped.
+func (b *Buffer) Fetch(ins Instruction, compute func() uint64) (uint64, bool) {
+	b.stats.Fetches++
+	set := b.sets[b.index(ins.PC)]
+	pcSeen := false
+	for w := range set {
+		e := &set[w]
+		if !e.valid || e.pc != ins.PC {
+			continue
+		}
+		pcSeen = true
+		if e.a == ins.A && e.b == ins.B {
+			b.stats.Hits++
+			res := e.result
+			moveToFront(set, w)
+			return res, true
+		}
+	}
+	if pcSeen {
+		b.stats.ValMisses++
+	} else {
+		b.stats.PCMisses++
+	}
+	res := compute()
+	if b.only != nil && !b.only[ins.Op] {
+		return res, false
+	}
+	last := len(set) - 1
+	if set[last].valid {
+		b.stats.Evictions++
+	}
+	copy(set[1:], set[:last])
+	set[0] = entry{pc: ins.PC, a: ins.A, b: ins.B, result: res, valid: true}
+	return res, false
+}
+
+func moveToFront(set []entry, w int) {
+	e := set[w]
+	copy(set[1:w+1], set[:w])
+	set[0] = e
+}

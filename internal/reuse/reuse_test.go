@@ -1,0 +1,114 @@
+package reuse
+
+import (
+	"testing"
+
+	"memotable/internal/isa"
+)
+
+func ins(pc uint64, a, b uint64) Instruction {
+	return Instruction{PC: pc, Op: isa.OpFMul, A: a, B: b}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(3, 1) },
+		func() { New(8, 0) },
+		func() { New(8, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHitRequiresPCAndOperands(t *testing.T) {
+	b := New(32, 4)
+	calls := 0
+	compute := func() uint64 { calls++; return 42 }
+
+	if _, hit := b.Fetch(ins(0x100, 1, 2), compute); hit {
+		t.Fatal("cold fetch hit")
+	}
+	// Same PC, same operands: hit.
+	if res, hit := b.Fetch(ins(0x100, 1, 2), compute); !hit || res != 42 {
+		t.Fatal("exact repeat missed")
+	}
+	// Same PC, different operands: value miss.
+	if _, hit := b.Fetch(ins(0x100, 1, 3), compute); hit {
+		t.Fatal("different operands hit")
+	}
+	// Different PC, same operands: PC miss — the paper's unrolling
+	// critique in miniature.
+	if _, hit := b.Fetch(ins(0x104, 1, 2), compute); hit {
+		t.Fatal("different PC hit")
+	}
+	st := b.Stats()
+	if st.Fetches != 4 || st.Hits != 1 || st.ValMisses != 1 || st.PCMisses != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if calls != 3 {
+		t.Fatalf("compute ran %d times, want 3", calls)
+	}
+}
+
+func TestSingleCycleOpsBumpMultiCycleOnes(t *testing.T) {
+	// The paper's first critique: an unrestricted RB lets adds displace
+	// multiplies. Five adds at conflicting PCs evict the one multiply in
+	// a 1-way set; the restricted buffer keeps it.
+	stride := uint64(32 * 4) // same set in an 8-set, 4-way buffer: (pc>>2)&7
+	makeStream := func(b *Buffer) bool {
+		mul := Instruction{PC: 0x1000, Op: isa.OpFMul, A: 7, B: 9}
+		b.Fetch(mul, func() uint64 { return 63 })
+		for i := uint64(1); i <= 4; i++ {
+			add := Instruction{PC: 0x1000 + i*stride, Op: isa.OpIAlu, A: i, B: i}
+			b.Fetch(add, func() uint64 { return 2 * i })
+		}
+		_, hit := b.Fetch(mul, func() uint64 { return 63 })
+		return hit
+	}
+	plain := New(32, 4)
+	if makeStream(plain) {
+		t.Error("multiply survived in the unrestricted buffer despite conflicts")
+	}
+	restricted := New(32, 4)
+	restricted.Restrict(isa.OpFMul, isa.OpFDiv, isa.OpIMul, isa.OpFSqrt)
+	if !makeStream(restricted) {
+		t.Error("restricted buffer lost the multiply")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	b := New(8, 2) // 4 sets, 2 ways
+	stride := uint64(4 * 4)
+	p0, p1, p2 := uint64(0x0), 0x0+stride, 0x0+2*stride
+	b.Fetch(ins(p0, 1, 1), func() uint64 { return 0 })
+	b.Fetch(ins(p1, 1, 1), func() uint64 { return 0 })
+	b.Fetch(ins(p0, 1, 1), func() uint64 { return 0 }) // touch p0
+	b.Fetch(ins(p2, 1, 1), func() uint64 { return 0 }) // evicts p1
+	if _, hit := b.Fetch(ins(p0, 1, 1), func() uint64 { return 0 }); !hit {
+		t.Error("MRU entry evicted")
+	}
+	if _, hit := b.Fetch(ins(p1, 1, 1), func() uint64 { return 0 }); hit {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestHitRatioAccounting(t *testing.T) {
+	b := New(8, 2)
+	for i := 0; i < 10; i++ {
+		b.Fetch(ins(0x40, 5, 6), func() uint64 { return 30 })
+	}
+	if hr := b.Stats().HitRatio(); hr != 0.9 {
+		t.Fatalf("hit ratio %g, want 0.9", hr)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("empty ratio")
+	}
+}

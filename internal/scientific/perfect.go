@@ -1,0 +1,295 @@
+package scientific
+
+import (
+	"math"
+	"math/rand"
+
+	"memotable/internal/probe"
+)
+
+// The kernels mix three operand-reuse regimes, chosen per application to
+// match its Table 5 row:
+//
+//	(a) products over small quantized sets     -> hits even at 32 entries;
+//	(b) products against static coefficient
+//	    arrays, recurring every timestep       -> misses at 32, hits in an
+//	                                              unbounded table;
+//	(c) products of freshly evolving values    -> misses everywhere.
+
+// ADM — air pollution transport: directionally split advection–diffusion.
+// Both flux passes read the same concentration field (regime b); report
+// binning multiplies tiny index sets (regime a, imul ~.98).
+func ADM(p *probe.Probe) {
+	const n, steps = 48, 6
+	u := field(n, 1)
+	emis := field(n, 10) // static emission inventory
+	tend := make([]float64, n*n)
+	base := uint64(0x6100_0000)
+	const cd, ca = 0.18, 0.05
+	for s := 0; s < steps; s++ {
+		for i := range tend {
+			tend[i] = 0
+		}
+		for pass := 0; pass < 2; pass++ {
+			for j := 1; j < n-1; j++ {
+				for i := 1; i < n-1; i++ {
+					idx := j*n + i
+					overhead(p, base+uint64(idx)*8)
+					l, r := idx-1, idx+1
+					if pass == 1 {
+						l, r = idx-n, idx+n
+					}
+					diff := p.FMul(cd, p.FAdd(u[l], u[r]))
+					adv := p.FMul(ca, u[idx])
+					tend[idx] = p.FAdd(tend[idx], p.FSub(diff, adv))
+					p.IMul(int64(i&3), int64(j&7)) // emission bin index
+				}
+			}
+		}
+		for idx := range u {
+			p.Store(base + uint64(idx)*8)
+			u[idx] = p.FAdd(u[idx], p.FMul(0.25, tend[idx]))
+			if u[idx] > 10 || u[idx] < -10 || math.IsNaN(u[idx]) {
+				u[idx] = 0
+			}
+		}
+		// Deposition scaling: per-row divisions of the static emission
+		// inventory by the static terrain roughness — identical operand
+		// pairs every timestep (unbounded-table potential), but far more
+		// rows than a 32-entry table holds.
+		for j := 1; j < n-1; j++ {
+			p.FDiv(emis[j], p.FAdd(4, emis[j+n]))
+		}
+	}
+}
+
+// QCD — lattice gauge Monte-Carlo: link updates multiply freshly drawn
+// random matrix elements (regime c): near-zero reuse at every size,
+// matching Table 5's all-zeros row.
+func QCD(p *probe.Probe) {
+	const n, sweeps = 24, 4
+	rng := rand.New(rand.NewSource(2))
+	link := field(n, 2)
+	base := uint64(0x6200_0000)
+	for s := 0; s < sweeps; s++ {
+		for i := 0; i < n*n; i++ {
+			overhead(p, base+uint64(i)*8)
+			prop := rng.Float64()*2 - 1
+			stap := rng.Float64()*2 - 1
+			act := p.FAdd(p.FMul(link[i], prop), p.FMul(prop, stap))
+			p.Branch()
+			if act > 0 {
+				link[i] = p.FMul(link[i], p.FAdd(1, p.FMul(0.1, prop)))
+			}
+			p.IMul(int64(rng.Intn(1<<20)), int64(rng.Intn(1<<20))) // RNG step
+		}
+	}
+}
+
+// MDG — molecular dynamics of liquid water: pairwise distances between
+// continuously drifting particle coordinates (regime c); no integer
+// multiplications, as Table 5 marks.
+func MDG(p *probe.Probe) {
+	const particles, steps = 56, 5
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, particles)
+	y := make([]float64, particles)
+	vx := make([]float64, particles)
+	vy := make([]float64, particles)
+	for i := range x {
+		x[i], y[i] = rng.Float64()*10, rng.Float64()*10
+	}
+	base := uint64(0x6300_0000)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < particles; i++ {
+			for j := i + 1; j < particles; j++ {
+				overhead(p, base+uint64(i*particles+j)*8)
+				dx := p.FSub(x[i], x[j])
+				dy := p.FSub(y[i], y[j])
+				r2 := p.FAdd(p.FMul(dx, dx), p.FMul(dy, dy))
+				p.Branch()
+				if r2 < 4 && r2 > 1e-9 {
+					f := p.FDiv(1, r2) // Lennard-Jones-style kernel
+					vx[i] = p.FAdd(vx[i], p.FMul(f, dx))
+					vy[i] = p.FAdd(vy[i], p.FMul(f, dy))
+				}
+			}
+		}
+		for i := 0; i < particles; i++ {
+			p.Store(base + uint64(i)*8)
+			x[i] = p.FAdd(x[i], p.FMul(0.001, vx[i]))
+			y[i] = p.FAdd(y[i], p.FMul(0.001, vy[i]))
+		}
+	}
+}
+
+// TRACK — missile tracking: an alpha-beta filter over quantized sensor
+// readings. The gain products draw from a small set (some 32-entry fmul
+// reuse, .17) and frame/channel index products are tiny sets (imul .98);
+// innovation normalizations recur per sensor across frames (fdiv rises
+// with table size).
+func TRACK(p *probe.Probe) {
+	const sensors, frames = 24, 40
+	rng := rand.New(rand.NewSource(4))
+	pos := make([]float64, sensors)
+	vel := make([]float64, sensors)
+	noise := make([]float64, sensors) // static per-sensor variance
+	for i := range noise {
+		noise[i] = 1 + float64(rng.Intn(8))
+	}
+	base := uint64(0x6400_0000)
+	for f := 0; f < frames; f++ {
+		for sNo := 0; sNo < sensors; sNo++ {
+			overhead(p, base+uint64(sNo)*8)
+			// Quantized radar return.
+			meas := float64(rng.Intn(64))
+			pred := p.FAdd(pos[sNo], vel[sNo])
+			innov := p.FSub(meas, pred)
+			// Gains are constants: products repeat on quantized innovations.
+			qi := float64(int(innov))
+			pos[sNo] = p.FAdd(pred, p.FMul(0.85, qi))
+			vel[sNo] = p.FAdd(vel[sNo], p.FMul(0.05, qi))
+			// Normalized innovation against static sensor variance.
+			p.FDiv(qi, noise[sNo])
+			p.IMul(int64(sNo&7), int64(f&3)) // track-file index
+			p.Store(base + uint64(sNo)*8)
+		}
+	}
+}
+
+// OCEAN — 2-D ocean circulation: stream-function relaxation where both
+// red and black half-sweeps read the same field (regime b for fp), and
+// spectral index products span the full i×j range but recur identically
+// every step (imul .15 at 32 entries vs .99 unbounded).
+func OCEAN(p *probe.Probe) {
+	const n, steps = 40, 6
+	u := field(n, 5)
+	cor := field(n, 55) // static Coriolis/metric array
+	base := uint64(0x6500_0000)
+	for s := 0; s < steps; s++ {
+		for color := 0; color < 2; color++ {
+			for j := 1; j < n-1; j++ {
+				for i := 1 + (j+color)%2; i < n-1; i += 2 {
+					idx := j*n + i
+					overhead(p, base+uint64(idx)*8)
+					lap := p.FAdd(p.FAdd(u[idx-1], u[idx+1]), p.FAdd(u[idx-n], u[idx+n]))
+					// Static metric products recur every sweep.
+					beta := p.FMul(cor[idx], 0.01)
+					u[idx] = p.FAdd(p.FMul(0.25, lap), beta)
+					p.IMul(int64(i), int64(j)) // wavenumber product
+				}
+			}
+		}
+		// Boundary normalization: a division per rim point by the static
+		// metric — the unbounded-table fdiv potential (.99).
+		for i := 0; i < n; i++ {
+			p.FDiv(u[i], p.FAdd(2, cor[i]))
+		}
+	}
+}
+
+// ARC2D — implicit 2-D Euler: tridiagonal (Thomas) solves along both
+// directions. Pivot reciprocals drift slowly (fdiv .23 at 32); index
+// scaling multiplies small sets (imul .94).
+func ARC2D(p *probe.Probe) {
+	const n, steps = 40, 5
+	u := field(n, 6)
+	diag := field(n, 66)
+	base := uint64(0x6600_0000)
+	for s := 0; s < steps; s++ {
+		for j := 0; j < n; j++ {
+			// Forward elimination along row j.
+			carry := 1.0
+			for i := 1; i < n; i++ {
+				idx := j*n + i
+				overhead(p, base+uint64(idx)*8)
+				piv := p.FAdd(2, p.FMul(0.125, float64(int(diag[idx]*8))))
+				m := p.FDiv(carry, piv)
+				u[idx] = p.FSub(u[idx], p.FMul(m, u[idx-1]))
+				carry = p.FAdd(1, p.FMul(0.01, u[idx]))
+				p.IMul(int64(i&7), int64(j&3)) // block offset
+			}
+		}
+	}
+}
+
+// FLO52 — transonic flow multigrid: restriction/prolongation between
+// levels on rapidly evolving residuals. Low reuse for fp at 32 entries
+// (fmul .02); integer level/index products hit well (imul .86).
+func FLO52(p *probe.Probe) {
+	const n, cycles = 32, 5
+	u := field(n, 7)
+	base := uint64(0x6700_0000)
+	for c := 0; c < cycles; c++ {
+		for level := n; level >= 8; level /= 2 {
+			step := n / level
+			for j := step; j < n-step; j += step {
+				for i := step; i < n-step; i += step {
+					idx := j*n + i
+					overhead(p, base+uint64(idx)*8)
+					res := p.FSub(u[idx], p.FMul(0.25,
+						p.FAdd(p.FAdd(u[idx-step], u[idx+step]),
+							p.FAdd(u[idx-step*n], u[idx+step*n]))))
+					u[idx] = p.FSub(u[idx], p.FMul(0.6, res))
+					p.IMul(int64(step), int64(j&15)) // level stride product
+				}
+			}
+		}
+		p.FDiv(u[n+1], p.FAdd(2, u[n+2])) // residual norm scaling
+	}
+}
+
+// TRFD — two-electron integral transformation: triangular index pair
+// enumeration with integral scaling by small integer normalizations.
+// The (value, smallInt) divisions repeat heavily even at 32 entries
+// (fdiv .85), the standout fdiv row of Table 5.
+func TRFD(p *probe.Probe) {
+	const nb, passes = 24, 4
+	integ := field(nb, 8)
+	base := uint64(0x6800_0000)
+	for pass := 0; pass < passes; pass++ {
+		for i := 0; i < nb; i++ {
+			for j := 0; j <= i; j++ {
+				overhead(p, base+uint64(i*nb+j)*8)
+				ij := p.IMul(int64(i), int64(i+1))/2 + int64(j)
+				_ = ij
+				// Shell-static integral prefactors normalized by small-set
+				// degeneracy factors: within a row the divider sees the
+				// same handful of operand pairs over and over (the .85
+				// fdiv row of Table 5).
+				q := float64(1 + i%12)
+				deg := float64(1 + (i+j)%6)
+				v := p.FDiv(q, deg)
+				integ[(i*nb+j)%(nb*nb)] = p.FAdd(integ[(i*nb+j)%(nb*nb)],
+					p.FMul(0.001, v))
+				p.Store(base + uint64(i*nb+j)*8)
+			}
+		}
+	}
+}
+
+// SPEC77 — spectral weather model: Legendre-style transforms multiplying
+// static basis tables by evolving spectral coefficients (fmul .28 at 32,
+// .37 unbounded) with full-range wavenumber index products (imul .06 at
+// 32, .97 unbounded).
+func SPEC77(p *probe.Probe) {
+	const waves, steps = 40, 6
+	basis := field(waves, 9) // static transform table
+	coef := field(waves, 99)
+	base := uint64(0x6900_0000)
+	for s := 0; s < steps; s++ {
+		for m := 0; m < waves; m++ {
+			for k := 0; k < waves; k++ {
+				overhead(p, base+uint64(m*waves+k)*8)
+				// Quantized basis element times evolving coefficient.
+				b := float64(int(basis[m*waves/waves+k]*32)) / 32
+				coef[m] = p.FAdd(coef[m], p.FMul(b, coef[k]))
+				p.IMul(int64(m), int64(k)) // wavenumber pair
+			}
+			p.Branch()
+			if coef[m] > 4 || coef[m] < -4 {
+				coef[m] = p.FDiv(coef[m], 16)
+			}
+		}
+	}
+}

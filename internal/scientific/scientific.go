@@ -1,0 +1,95 @@
+// Package scientific implements self-contained equivalents of the
+// nineteen Perfect Club and SPEC CFP95 applications the paper traced
+// (Tables 2 and 3). The originals are large Fortran codes we do not have;
+// each kernel here reproduces the computational character that determines
+// MEMO-TABLE behaviour — the paper's negative result for these suites:
+//
+//   - floating-point operands are continuously evolving field values, so
+//     a 32-entry table thrashes (low hit ratios), while value recurrence
+//     across directional sweeps and timesteps gives an unbounded table
+//     substantial potential (Franklin & Sohi's register-instance
+//     argument, §3.2);
+//   - integer multiplications come from small index/scaling sets and hit
+//     well even in small tables for many codes.
+//
+// Every kernel is deterministic and runs in milliseconds.
+package scientific
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memotable/internal/probe"
+)
+
+// Kernel is one scientific application equivalent.
+type Kernel struct {
+	Name  string
+	Desc  string
+	Suite string // "Perfect" or "SPEC CFP95"
+	// Run executes the kernel, emitting dynamic operations through p.
+	Run func(p *probe.Probe)
+}
+
+// Perfect returns the nine Perfect Benchmark equivalents (Table 2 order).
+func Perfect() []Kernel {
+	return []Kernel{
+		{"ADM", "Air pollution, fluid dynamics", "Perfect", ADM},
+		{"QCD", "Lattice gauge, quantum chromodynamics", "Perfect", QCD},
+		{"MDG", "Liquid water simulation, molecular dynamics", "Perfect", MDG},
+		{"TRACK", "Missile tracking, signal processing", "Perfect", TRACK},
+		{"OCEAN", "Ocean simulation, 2-D fluid dynamics", "Perfect", OCEAN},
+		{"ARC2D", "Supersonic reentry, 2-D fluid dynamics", "Perfect", ARC2D},
+		{"FLO52", "Transonic flow, 2-D fluid dynamics", "Perfect", FLO52},
+		{"TRFD", "2-electron transform integrals, molecular dynamics", "Perfect", TRFD},
+		{"SPEC77", "Weather simulation, fluid dynamics", "Perfect", SPEC77},
+	}
+}
+
+// SpecCFP95 returns the ten SPEC CFP95 equivalents (Table 3 order).
+func SpecCFP95() []Kernel {
+	return []Kernel{
+		{"tomcatv", "Vectorized mesh generation", "SPEC CFP95", Tomcatv},
+		{"swim", "Shallow water equations", "SPEC CFP95", Swim},
+		{"su2cor", "Monte-Carlo method", "SPEC CFP95", Su2cor},
+		{"hydro2d", "Navier Stokes equations", "SPEC CFP95", Hydro2d},
+		{"mgrid", "3d potential field", "SPEC CFP95", Mgrid},
+		{"applu", "Partial differential equations", "SPEC CFP95", Applu},
+		{"turb3d", "Turbulence modeling", "SPEC CFP95", Turb3d},
+		{"apsi", "Weather prediction", "SPEC CFP95", Apsi},
+		{"fpppp", "Gaussian series of quantum chemistry", "SPEC CFP95", Fpppp},
+		{"wave5", "Maxwell's equation", "SPEC CFP95", Wave5},
+	}
+}
+
+// All returns both suites.
+func All() []Kernel { return append(Perfect(), SpecCFP95()...) }
+
+// Lookup returns the named kernel.
+func Lookup(name string) (Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("scientific: unknown kernel %q", name)
+}
+
+// --- shared helpers -------------------------------------------------------
+
+// field allocates an initialized 2-D grid with deterministic contents.
+func field(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]float64, n*n)
+	for i := range f {
+		f[i] = rng.Float64()*2 - 1
+	}
+	return f
+}
+
+// overhead emits inner-loop bookkeeping.
+func overhead(p *probe.Probe, addr uint64) {
+	p.IAlu()
+	p.Load(addr)
+	p.Branch()
+}

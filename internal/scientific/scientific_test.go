@@ -1,0 +1,149 @@
+package scientific
+
+import (
+	"math"
+	"testing"
+
+	"memotable/internal/isa"
+	"memotable/internal/probe"
+	"memotable/internal/trace"
+)
+
+func TestRegistries(t *testing.T) {
+	if len(Perfect()) != 9 {
+		t.Fatalf("Perfect has %d kernels, want 9", len(Perfect()))
+	}
+	if len(SpecCFP95()) != 10 {
+		t.Fatalf("SPEC has %d kernels, want 10", len(SpecCFP95()))
+	}
+	if len(All()) != 19 {
+		t.Fatal("All() size")
+	}
+	k, err := Lookup("hydro2d")
+	if err != nil || k.Suite != "SPEC CFP95" {
+		t.Fatalf("Lookup(hydro2d) = %+v, %v", k, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup accepted unknown kernel")
+	}
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel %s", k.Name)
+		}
+		seen[k.Name] = true
+		if k.Desc == "" || k.Run == nil {
+			t.Errorf("kernel %s incomplete", k.Name)
+		}
+	}
+}
+
+func TestKernelsRunAndEmit(t *testing.T) {
+	for _, k := range All() {
+		var c trace.Counter
+		k.Run(probe.New(&c))
+		if c.Total() == 0 {
+			t.Errorf("%s emitted nothing", k.Name)
+		}
+		if c.Of(isa.OpLoad) == 0 {
+			t.Errorf("%s emitted no loads", k.Name)
+		}
+	}
+}
+
+// TestOpPresence checks the '-' pattern of Tables 5 and 6.
+func TestOpPresence(t *testing.T) {
+	profiles := map[string]struct{ imul, fmul, fdiv bool }{
+		"ADM":     {true, true, true},
+		"QCD":     {true, true, false},
+		"MDG":     {false, true, true},
+		"TRACK":   {true, true, true},
+		"OCEAN":   {true, true, true},
+		"ARC2D":   {true, true, true},
+		"FLO52":   {true, true, true},
+		"TRFD":    {true, true, true},
+		"SPEC77":  {true, true, true},
+		"tomcatv": {true, true, true},
+		"swim":    {false, true, true},
+		"su2cor":  {true, false, false},
+		"hydro2d": {false, true, true},
+		"mgrid":   {true, true, false},
+		"applu":   {true, true, true},
+		"turb3d":  {true, true, true},
+		"apsi":    {true, true, true},
+		"fpppp":   {true, true, true},
+		"wave5":   {false, true, true},
+	}
+	for _, k := range All() {
+		want, ok := profiles[k.Name]
+		if !ok {
+			t.Errorf("no profile for %s", k.Name)
+			continue
+		}
+		var c trace.Counter
+		k.Run(probe.New(&c))
+		if got := c.Of(isa.OpIMul) > 0; got != want.imul {
+			t.Errorf("%s: imul present=%v want %v", k.Name, got, want.imul)
+		}
+		if got := c.Of(isa.OpFMul) > 0; got != want.fmul {
+			t.Errorf("%s: fmul present=%v want %v", k.Name, got, want.fmul)
+		}
+		if got := c.Of(isa.OpFDiv) > 0; got != want.fdiv {
+			t.Errorf("%s: fdiv present=%v want %v", k.Name, got, want.fdiv)
+		}
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, name := range []string{"QCD", "hydro2d", "TRFD"} {
+		k, _ := Lookup(name)
+		var a, b trace.Recorder
+		k.Run(probe.New(&a))
+		k.Run(probe.New(&b))
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("%s: event counts differ", name)
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("%s: event %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestKernelsStayFinite(t *testing.T) {
+	// No kernel's instrumented arithmetic may blow up to NaN/Inf operands:
+	// that would mean the numerical model diverged.
+	for _, k := range All() {
+		bad := 0
+		k.Run(probe.New(trace.SinkFunc(func(ev trace.Event) {
+			switch ev.Op {
+			case isa.OpFMul, isa.OpFDiv, isa.OpFAdd:
+				a := math.Float64frombits(ev.A)
+				b := math.Float64frombits(ev.B)
+				if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+					bad++
+				}
+			}
+		})))
+		if bad > 0 {
+			t.Errorf("%s produced %d non-finite fp operands", k.Name, bad)
+		}
+	}
+}
+
+func TestFieldDeterministicAndSized(t *testing.T) {
+	a := field(8, 3)
+	b := field(8, 3)
+	if len(a) != 64 {
+		t.Fatalf("field size %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("field not deterministic")
+		}
+		if a[i] < -1 || a[i] > 1 {
+			t.Fatal("field out of range")
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package scientific
+
+import (
+	"math/rand"
+
+	"memotable/internal/probe"
+)
+
+// Tomcatv — vectorized mesh generation: coordinate relaxation with
+// residual-driven corrections. Mesh coordinates drift continuously (fmul
+// .01 at 32 entries) while grid index products recur each iteration
+// (imul .14 at 32, .99 unbounded).
+func Tomcatv(p *probe.Probe) {
+	const n, iters = 40, 6
+	x := field(n, 11)
+	y := field(n, 12)
+	base := uint64(0x7100_0000)
+	for it := 0; it < iters; it++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				idx := j*n + i
+				overhead(p, base+uint64(idx)*8)
+				xe := p.FSub(x[idx+1], x[idx-1])
+				ye := p.FSub(y[idx+n], y[idx-n])
+				jac := p.FSub(p.FMul(xe, xe), p.FMul(ye, ye))
+				x[idx] = p.FAdd(x[idx], p.FMul(0.01, jac))
+				y[idx] = p.FSub(y[idx], p.FMul(0.01, jac))
+				p.IMul(int64(i), int64(j)) // mesh index product
+			}
+		}
+		p.FDiv(x[n+1], p.FAdd(2, y[n+1])) // convergence norm
+	}
+}
+
+// Swim — shallow water equations: leapfrog over u/v/h fields. Static
+// bathymetry/Coriolis products recur every step (fmul .16 at 32, .93
+// unbounded; fdiv 0 at 32, .74 unbounded); no integer multiplications,
+// as Table 6 marks.
+func Swim(p *probe.Probe) {
+	const n, steps = 40, 6
+	h := field(n, 13)
+	u := field(n, 14)
+	depth := field(n, 15) // static bathymetry
+	base := uint64(0x7200_0000)
+	for s := 0; s < steps; s++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				idx := j*n + i
+				overhead(p, base+uint64(idx)*8)
+				// Static-by-static products: identical every step.
+				flux := p.FMul(depth[idx], depth[idx+1])
+				grad := p.FSub(h[idx+1], h[idx-1])
+				u[idx] = p.FAdd(u[idx], p.FMul(0.001, p.FAdd(flux, grad)))
+				h[idx] = p.FSub(h[idx], p.FMul(0.001, u[idx]))
+			}
+		}
+		// Potential-vorticity normalization against static depth:
+		// recurs exactly each step.
+		for i := n; i < 2*n; i++ {
+			p.FDiv(depth[i], p.FAdd(4, depth[i+n]))
+		}
+	}
+}
+
+// Su2cor — quark-gluon Monte-Carlo: integer lattice site enumeration with
+// random accept/reject. Only integer multiplications appear (Table 6
+// marks fmul and fdiv absent); site-pair products recur every sweep
+// (imul .26 at 32, .99 unbounded).
+func Su2cor(p *probe.Probe) {
+	const n, sweeps = 32, 6
+	rng := rand.New(rand.NewSource(16))
+	spin := make([]int64, n*n)
+	for i := range spin {
+		spin[i] = int64(rng.Intn(3)) - 1
+	}
+	base := uint64(0x7300_0000)
+	for s := 0; s < sweeps; s++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				idx := j*n + i
+				overhead(p, base+uint64(idx)*8)
+				p.IMul(int64(i), int64(j)) // site pairing, recurs per sweep
+				nb := spin[(idx+1)%(n*n)] + spin[(idx+n)%(n*n)]
+				e := p.IMul(spin[idx], nb)
+				p.Branch()
+				if e < 0 || rng.Intn(4) == 0 {
+					spin[idx] = -spin[idx]
+				}
+			}
+		}
+	}
+}
+
+// Hydro2d — Navier-Stokes with table-driven coefficients: state values
+// are limited onto a coarse quantization grid before every product, so
+// operand pairs come from a small set — the standout SPEC row with high
+// hit ratios even at 32 entries (fmul .75, fdiv .78).
+func Hydro2d(p *probe.Probe) {
+	const n, steps = 40, 6
+	rho := field(n, 17)
+	base := uint64(0x7400_0000)
+	quant := func(v float64) float64 { return float64(int(v*8)) / 8 }
+	for s := 0; s < steps; s++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				idx := j*n + i
+				overhead(p, base+uint64(idx)*8)
+				a := quant(rho[idx])
+				b := quant(rho[idx+1])
+				flux := p.FMul(a, b)
+				pressure := p.FDiv(p.FAdd(1, a), p.FAdd(2, b))
+				rho[idx] = p.FAdd(rho[idx],
+					p.FMul(0.004, p.FSub(flux, pressure)))
+				p.Branch()
+				if rho[idx] > 4 || rho[idx] < -4 {
+					rho[idx] = quant(rho[idx] / 4)
+				}
+			}
+		}
+	}
+}
+
+// Mgrid — 3-D multigrid potential solver (modelled on a 2-D hierarchy):
+// stride products from a tiny level set hit strongly (imul .83) while
+// smoothing products track evolving residuals (fmul .00/.01); no
+// divisions, as Table 6 marks.
+func Mgrid(p *probe.Probe) {
+	const n, cycles = 32, 5
+	u := field(n, 18)
+	base := uint64(0x7500_0000)
+	for c := 0; c < cycles; c++ {
+		for stride := 1; stride <= 8; stride *= 2 {
+			for j := stride; j < n-stride; j += stride {
+				for i := stride; i < n-stride; i += stride {
+					idx := j*n + i
+					overhead(p, base+uint64(idx)*8)
+					s := p.FAdd(p.FAdd(u[idx-stride], u[idx+stride]),
+						p.FAdd(u[idx-stride*n], u[idx+stride*n]))
+					u[idx] = p.FAdd(p.FMul(0.5, u[idx]), p.FMul(0.125, s))
+					p.IMul(int64(stride), int64(stride)) // level area factor
+				}
+			}
+		}
+	}
+}
+
+// Applu — implicit PDE solver: SSOR sweeps with block index products from
+// small sets (imul .97) and pivot normalizations on slowly drifting
+// diagonal terms (fmul .25, fdiv .25).
+func Applu(p *probe.Probe) {
+	const n, steps = 36, 6
+	u := field(n, 19)
+	base := uint64(0x7600_0000)
+	for s := 0; s < steps; s++ {
+		for j := 1; j < n-1; j++ {
+			for i := 1; i < n-1; i++ {
+				idx := j*n + i
+				overhead(p, base+uint64(idx)*8)
+				diag := p.FAdd(4, float64(int(u[idx]*4))/4)
+				res := p.FSub(p.FAdd(u[idx-1], u[idx+1]), p.FMul(2, u[idx]))
+				// Fixed-point residual: the pivot division's operand pairs
+				// recur as the relaxation settles.
+				resQ := float64(int(res*8)) / 8
+				corr := p.FDiv(resQ, diag)
+				u[idx] = p.FAdd(u[idx], p.FMul(0.9, corr))
+				p.IMul(int64(i&3), int64(j&3)) // 4x4 block offset
+			}
+		}
+	}
+}
+
+// Turb3d — homogeneous turbulence: spectral shell products where
+// wavenumber-shell energies are quantized (fmul .16) and shell index
+// products repeat from a modest set (imul .80); rare rescaling divisions
+// (fdiv .03).
+func Turb3d(p *probe.Probe) {
+	const n, steps = 36, 6
+	e := field(n, 20)
+	base := uint64(0x7700_0000)
+	for s := 0; s < steps; s++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				idx := j*n + i
+				overhead(p, base+uint64(idx)*8)
+				shell := float64(int(e[idx]*16)) / 16
+				transfer := p.FMul(shell, 0.05)
+				e[idx] = p.FAdd(e[idx], p.FSub(transfer, p.FMul(0.04, e[idx])))
+				p.IMul(int64(i&15), int64(j&15)) // shell pair index
+				p.Branch()
+				if e[idx] > 0.9 || e[idx] < -0.9 {
+					e[idx] = p.FDiv(e[idx], float64(2+(idx&3)))
+				}
+			}
+		}
+	}
+}
+
+// Apsi — mesoscale weather prediction: vertical column physics with
+// lookup-table lapse rates (quantized products, fmul .16; fdiv .13) and
+// tiny level-index products (imul .95).
+func Apsi(p *probe.Probe) {
+	const cols, levels, steps = 48, 24, 6
+	t := field(cols, 21)
+	base := uint64(0x7800_0000)
+	for s := 0; s < steps; s++ {
+		for c := 0; c < cols; c++ {
+			for l := 1; l < levels; l++ {
+				idx := c*levels + l
+				overhead(p, base+uint64(idx)*8)
+				lapse := float64(int(t[idx%len(t)]*64)) / 64
+				adj := p.FMul(lapse, 0.02)
+				// Radiative relaxation bounds the column state, so lapse
+				// values recur across timesteps.
+				t[idx%len(t)] = p.FAdd(p.FMul(0.98, t[idx%len(t)]), adj)
+				p.IMul(int64(l&7), int64(c&3)) // level-column offset
+				p.Branch()
+				if l%8 == 0 {
+					// Stability ratio on half-degree lapse bins: recurs
+					// across timesteps once columns settle.
+					p.FDiv(float64(int(lapse*2))/2, float64(1+l%4))
+				}
+			}
+		}
+	}
+}
+
+// Fpppp — Gaussian-series electron integrals: contraction products over
+// a moderate set of precomputed exponent pairs (fmul .29 at 32, .55
+// unbounded; imul .53; fdiv .15 on small normalization sets).
+func Fpppp(p *probe.Probe) {
+	const shells, passes = 20, 5
+	expo := make([]float64, shells)
+	for i := range expo {
+		expo[i] = float64(1+i%7) * 0.5 // small exponent set
+	}
+	acc := field(shells, 22)
+	base := uint64(0x7900_0000)
+	for pass := 0; pass < passes; pass++ {
+		for i := 0; i < shells; i++ {
+			for j := 0; j < shells; j++ {
+				for k := 0; k < shells; k += 4 {
+					idx := (i*shells + j) % (shells * shells)
+					overhead(p, base+uint64(idx)*8)
+					prim := p.FMul(expo[i], expo[j])
+					norm := p.FDiv(prim, float64(1+(i+j+k)%5))
+					acc[idx] = p.FAdd(acc[idx], p.FMul(norm, 0.001))
+					p.IMul(int64(i), int64(j)) // shell pair index
+				}
+			}
+		}
+	}
+}
+
+// Wave5 — particle-in-cell Maxwell solver: field updates on continuously
+// moving particle positions (fmul .05, fdiv .02); no integer
+// multiplications, as Table 6 marks.
+func Wave5(p *probe.Probe) {
+	const particles, steps = 400, 6
+	rng := rand.New(rand.NewSource(23))
+	pos := make([]float64, particles)
+	vel := make([]float64, particles)
+	for i := range pos {
+		pos[i] = rng.Float64() * 64
+	}
+	ef := field(24, 24)
+	base := uint64(0x7A00_0000)
+	for s := 0; s < steps; s++ {
+		for i := 0; i < particles; i++ {
+			overhead(p, base+uint64(i)*8)
+			cell := int(pos[i]) % len(ef)
+			if cell < 0 {
+				cell = 0
+			}
+			force := p.FMul(ef[cell], pos[i]) // continuous positions
+			vel[i] = p.FAdd(vel[i], p.FMul(0.001, force))
+			pos[i] = p.FAdd(pos[i], vel[i])
+			if i%16 == 0 {
+				// Charge-density normalization on continuously moving
+				// positions: present but with negligible reuse.
+				p.FDiv(pos[i], p.FAdd(2, ef[cell]))
+			}
+			p.Branch()
+			if pos[i] < 0 || pos[i] >= 64 {
+				pos[i] = p.FDiv(pos[i], 2)
+				if pos[i] < 0 {
+					pos[i] = -pos[i]
+				}
+			}
+		}
+	}
+}

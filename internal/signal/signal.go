@@ -1,0 +1,203 @@
+// Package signal provides the DSP substrate for the frequency-domain
+// Multi-Media workloads (vbrf, vbpf, vmpp, vrect2pol): radix-2 FFTs and
+// frequency masks whose arithmetic is routed through the instrumentation
+// probe, so every butterfly multiplication is visible to the MEMO-TABLE
+// simulation exactly as Shade saw the originals' instructions.
+package signal
+
+import (
+	"math"
+
+	"memotable/internal/probe"
+)
+
+// Field is a 2-D complex field stored as separate real and imaginary
+// planes (row-major, h rows of w).
+type Field struct {
+	W, H   int
+	Re, Im []float64
+}
+
+// NewField allocates a w×h complex field. Dimensions must be powers of
+// two for FFT use.
+func NewField(w, h int) *Field {
+	if w <= 0 || h <= 0 {
+		panic("signal: invalid field dimensions")
+	}
+	return &Field{W: w, H: h, Re: make([]float64, w*h), Im: make([]float64, w*h)}
+}
+
+// At returns the complex sample at (x, y).
+func (f *Field) At(x, y int) (re, im float64) {
+	i := y*f.W + x
+	return f.Re[i], f.Im[i]
+}
+
+// Set writes the complex sample at (x, y).
+func (f *Field) Set(x, y int, re, im float64) {
+	i := y*f.W + x
+	f.Re[i], f.Im[i] = re, im
+}
+
+// Clone deep-copies the field.
+func (f *Field) Clone() *Field {
+	out := NewField(f.W, f.H)
+	copy(out.Re, f.Re)
+	copy(out.Im, f.Im)
+	return out
+}
+
+func pow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT performs an in-place radix-2 decimation-in-time transform of the
+// length-n complex sequence (re, im) through the probe. inverse applies
+// the conjugate transform and scales by 1/n (the scaling divisions are
+// probe-visible, as they were dynamic instructions in the originals).
+func FFT(p *probe.Probe, re, im []float64, inverse bool) {
+	n := len(re)
+	if len(im) != n {
+		panic("signal: FFT plane length mismatch")
+	}
+	if !pow2(n) {
+		panic("signal: FFT length not a power of two")
+	}
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+			p.IAlu()
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				// Twiddle-table subscript: compiled FFTs index the ROM
+				// with k*(n/length), a product whose operand pairs recur
+				// across every block of the stage.
+				p.IMul(int64(k), int64(n/length))
+				i, j := start+k, start+k+half
+				// t = w * x[j]  (4 mul, 2 add)
+				tRe := p.FSub(p.FMul(re[j], curRe), p.FMul(im[j], curIm))
+				tIm := p.FAdd(p.FMul(re[j], curIm), p.FMul(im[j], curRe))
+				re[j] = p.FSub(re[i], tRe)
+				im[j] = p.FSub(im[i], tIm)
+				re[i] = p.FAdd(re[i], tRe)
+				im[i] = p.FAdd(im[i], tIm)
+				// Advance the twiddle factor.
+				nRe := p.FSub(p.FMul(curRe, wRe), p.FMul(curIm, wIm))
+				curIm = p.FAdd(p.FMul(curRe, wIm), p.FMul(curIm, wRe))
+				curRe = nRe
+			}
+		}
+	}
+	if inverse {
+		fn := float64(n)
+		for i := range re {
+			re[i] = p.FDiv(re[i], fn)
+			im[i] = p.FDiv(im[i], fn)
+		}
+	}
+}
+
+// FFT2D transforms the field in place: rows, then columns.
+func FFT2D(p *probe.Probe, f *Field, inverse bool) {
+	if !pow2(f.W) || !pow2(f.H) {
+		panic("signal: FFT2D dimensions not powers of two")
+	}
+	// Rows.
+	for y := 0; y < f.H; y++ {
+		row := y * f.W
+		FFT(p, f.Re[row:row+f.W], f.Im[row:row+f.W], inverse)
+	}
+	// Columns (gather/scatter through temporaries).
+	colRe := make([]float64, f.H)
+	colIm := make([]float64, f.H)
+	for x := 0; x < f.W; x++ {
+		for y := 0; y < f.H; y++ {
+			colRe[y], colIm[y] = f.Re[y*f.W+x], f.Im[y*f.W+x]
+		}
+		FFT(p, colRe, colIm, inverse)
+		for y := 0; y < f.H; y++ {
+			f.Re[y*f.W+x], f.Im[y*f.W+x] = colRe[y], colIm[y]
+		}
+	}
+}
+
+// RadialMask applies a frequency-domain mask through the probe: samples
+// whose radial frequency lies in [rLo, rHi) are multiplied by inside;
+// all others by outside. Frequencies are normalized to [0, 0.5] with DC
+// at index 0 (wrap-around symmetric).
+func RadialMask(p *probe.Probe, f *Field, rLo, rHi, inside, outside float64) {
+	for y := 0; y < f.H; y++ {
+		fy := freqOf(y, f.H)
+		for x := 0; x < f.W; x++ {
+			fx := freqOf(x, f.W)
+			r := math.Sqrt(fx*fx + fy*fy)
+			gain := outside
+			if r >= rLo && r < rHi {
+				gain = inside
+			}
+			i := y*f.W + x
+			f.Re[i] = p.FMul(f.Re[i], gain)
+			f.Im[i] = p.FMul(f.Im[i], gain)
+		}
+	}
+}
+
+// freqOf maps an FFT bin index to its normalized frequency magnitude.
+func freqOf(i, n int) float64 {
+	if i <= n/2 {
+		return float64(i) / float64(n)
+	}
+	return float64(n-i) / float64(n)
+}
+
+// Convolve3x3 convolves a single plane with a 3×3 kernel through the
+// probe, replicating edge samples. Used by the spatial-domain edge
+// workloads.
+func Convolve3x3(p *probe.Probe, w, h int, src []float64, k [9]float64) []float64 {
+	if len(src) != w*h {
+		panic("signal: Convolve3x3 plane size mismatch")
+	}
+	out := make([]float64, w*h)
+	clampIdx := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc float64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					kv := k[(dy+1)*3+dx+1]
+					if kv == 0 {
+						continue
+					}
+					sx, sy := clampIdx(x+dx, w), clampIdx(y+dy, h)
+					acc = p.FAdd(acc, p.FMul(kv, src[sy*w+sx]))
+				}
+			}
+			out[y*w+x] = acc
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"memotable/internal/isa"
+	"memotable/internal/probe"
+	"memotable/internal/trace"
+)
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	p := probe.New()
+	rng := rand.New(rand.NewSource(21))
+	const n = 64
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.Float64()*2 - 1
+		im[i] = rng.Float64()*2 - 1
+	}
+	wantRe := make([]float64, n)
+	wantIm := make([]float64, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / n
+			c, s := math.Cos(ang), math.Sin(ang)
+			wantRe[k] += re[j]*c - im[j]*s
+			wantIm[k] += re[j]*s + im[j]*c
+		}
+	}
+	FFT(p, re, im, false)
+	for k := 0; k < n; k++ {
+		if math.Abs(re[k]-wantRe[k]) > 1e-9 || math.Abs(im[k]-wantIm[k]) > 1e-9 {
+			t.Fatalf("bin %d: (%g,%g) vs naive (%g,%g)", k, re[k], im[k], wantRe[k], wantIm[k])
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	p := probe.New()
+	rng := rand.New(rand.NewSource(22))
+	const n = 256
+	re := make([]float64, n)
+	im := make([]float64, n)
+	orig := make([]float64, n)
+	for i := range re {
+		re[i] = rng.Float64()
+		orig[i] = re[i]
+	}
+	FFT(p, re, im, false)
+	FFT(p, re, im, true)
+	for i := range re {
+		if math.Abs(re[i]-orig[i]) > 1e-10 || math.Abs(im[i]) > 1e-10 {
+			t.Fatalf("sample %d: (%g,%g) vs %g", i, re[i], im[i], orig[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	p := probe.New()
+	rng := rand.New(rand.NewSource(23))
+	const n = 128
+	re := make([]float64, n)
+	im := make([]float64, n)
+	var timeE float64
+	for i := range re {
+		re[i] = rng.Float64() - 0.5
+		timeE += re[i] * re[i]
+	}
+	FFT(p, re, im, false)
+	var freqE float64
+	for i := range re {
+		freqE += re[i]*re[i] + im[i]*im[i]
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9 {
+		t.Fatalf("Parseval: time %g vs freq/n %g", timeE, freqE/float64(n))
+	}
+}
+
+func TestFFTPanics(t *testing.T) {
+	p := probe.New()
+	mustPanic(t, func() { FFT(p, make([]float64, 3), make([]float64, 3), false) })
+	mustPanic(t, func() { FFT(p, make([]float64, 4), make([]float64, 2), false) })
+	mustPanic(t, func() { NewField(0, 4) })
+	mustPanic(t, func() { FFT2D(p, &Field{W: 3, H: 4, Re: make([]float64, 12), Im: make([]float64, 12)}, false) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestFFT2DRoundTripAndDC(t *testing.T) {
+	p := probe.New()
+	f := NewField(16, 8)
+	rng := rand.New(rand.NewSource(24))
+	var sum float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 16; x++ {
+			v := rng.Float64()
+			f.Set(x, y, v, 0)
+			sum += v
+		}
+	}
+	orig := f.Clone()
+	FFT2D(p, f, false)
+	if dcRe, dcIm := f.At(0, 0); math.Abs(dcRe-sum) > 1e-9 || math.Abs(dcIm) > 1e-9 {
+		t.Fatalf("DC = (%g,%g), want (%g,0)", dcRe, dcIm, sum)
+	}
+	FFT2D(p, f, true)
+	for i := range f.Re {
+		if math.Abs(f.Re[i]-orig.Re[i]) > 1e-9 || math.Abs(f.Im[i]) > 1e-9 {
+			t.Fatalf("2D round trip failed at %d", i)
+		}
+	}
+}
+
+func TestRadialMask(t *testing.T) {
+	p := probe.New()
+	f := NewField(8, 8)
+	for i := range f.Re {
+		f.Re[i] = 1
+	}
+	// Reject everything outside DC.
+	RadialMask(p, f, 0, 0.05, 1, 0)
+	if re, _ := f.At(0, 0); re != 1 {
+		t.Fatal("DC rejected")
+	}
+	if re, _ := f.At(4, 4); re != 0 {
+		t.Fatal("high frequency passed")
+	}
+}
+
+func TestFFTEmitsInstrumentation(t *testing.T) {
+	var c trace.Counter
+	p := probe.New(&c)
+	re := make([]float64, 32)
+	im := make([]float64, 32)
+	re[3] = 1
+	FFT(p, re, im, true)
+	if c.Of(isa.OpFMul) == 0 {
+		t.Error("FFT emitted no multiplications")
+	}
+	if c.Of(isa.OpFDiv) != 64 {
+		t.Errorf("inverse FFT emitted %d divisions, want 64", c.Of(isa.OpFDiv))
+	}
+}
+
+func TestConvolve3x3Identity(t *testing.T) {
+	p := probe.New()
+	src := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	id := [9]float64{0, 0, 0, 0, 1, 0, 0, 0, 0}
+	out := Convolve3x3(p, 3, 3, src, id)
+	for i := range src {
+		if out[i] != src[i] {
+			t.Fatalf("identity kernel changed sample %d", i)
+		}
+	}
+	// Box blur of a constant field is constant.
+	box := [9]float64{1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9, 1. / 9}
+	flat := []float64{5, 5, 5, 5, 5, 5, 5, 5, 5}
+	out = Convolve3x3(p, 3, 3, flat, box)
+	for i := range out {
+		if math.Abs(out[i]-5) > 1e-12 {
+			t.Fatalf("box blur of flat field: %g", out[i])
+		}
+	}
+	mustPanic(t, func() { Convolve3x3(p, 2, 2, flat, id) })
+}

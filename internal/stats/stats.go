@@ -1,0 +1,132 @@
+// Package stats provides the small statistical helpers the experiment
+// drivers share: summaries, histograms and correlation.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the extrema of xs; it panics on an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Correlation returns the Pearson correlation of paired samples; it panics
+// on mismatched lengths and returns 0 when either side is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Correlation length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Histogram counts occurrences of discrete values.
+type Histogram struct {
+	counts map[float64]uint64
+	total  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[float64]uint64)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Distinct returns the number of distinct values observed.
+func (h *Histogram) Distinct() int { return len(h.counts) }
+
+// Entropy returns the Shannon entropy (bits) of the observed distribution:
+//
+//	E = -sum p_k * log2(p_k)
+//
+// the paper's image-entropy measure (§3.2).
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var e float64
+	n := float64(h.total)
+	for _, c := range h.counts {
+		p := float64(c) / n
+		e -= p * math.Log2(p)
+	}
+	return e
+}

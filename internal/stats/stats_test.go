@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !close(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g,%g", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(nil) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !close(Variance(xs), 4) {
+		t.Errorf("Variance = %g", Variance(xs))
+	}
+	if !close(StdDev(xs), 2) {
+		t.Errorf("StdDev = %g", StdDev(xs))
+	}
+	if Variance(nil) != 0 {
+		t.Error("Variance(nil)")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("Median(nil)")
+	}
+	if !close(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median")
+	}
+	if !close(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !close(Correlation(xs, []float64{2, 4, 6, 8}), 1) {
+		t.Error("perfect positive")
+	}
+	if !close(Correlation(xs, []float64{8, 6, 4, 2}), -1) {
+		t.Error("perfect negative")
+	}
+	if Correlation(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Correlation(xs, xs[:2])
+}
+
+func TestHistogramEntropyUniform(t *testing.T) {
+	// 256 evenly distributed values: entropy exactly 8 bits — the paper's
+	// worked example (§3.2).
+	h := NewHistogram()
+	for v := 0; v < 256; v++ {
+		h.Add(float64(v))
+	}
+	if !close(h.Entropy(), 8) {
+		t.Fatalf("uniform 256-level entropy = %g, want 8", h.Entropy())
+	}
+	if h.Distinct() != 256 || h.Total() != 256 {
+		t.Fatal("histogram accounting")
+	}
+}
+
+func TestHistogramEntropyDegenerate(t *testing.T) {
+	h := NewHistogram()
+	if h.Entropy() != 0 {
+		t.Error("empty entropy")
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(42)
+	}
+	if h.Entropy() != 0 {
+		t.Error("single-value entropy")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	// Property: 0 <= entropy <= log2(distinct values).
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(float64(v))
+		}
+		e := h.Entropy()
+		return e >= -1e-12 && e <= math.Log2(float64(h.Distinct()))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

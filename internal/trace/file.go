@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"memotable/internal/isa"
+)
+
+// Binary trace file format:
+//
+//	magic   "MTRC"                (4 bytes)
+//	version uint8                 (currently 1)
+//	events  repeated {op uint8, a uvarint, b uvarint}
+//
+// The format is append-only and stream-decodable; operand patterns are
+// varint-encoded because image-processing operands cluster in the low
+// exponent range after XOR folding is applied by the reader's consumers.
+
+var magic = [4]byte{'M', 'T', 'R', 'C'}
+
+const formatVersion = 1
+
+// ErrBadTrace reports a corrupt or truncated trace stream.
+var ErrBadTrace = errors.New("trace: corrupt or truncated stream")
+
+// Writer encodes events to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	buf    [1 + 2*binary.MaxVarintLen64]byte
+	count  uint64
+	opened bool
+}
+
+// NewWriter starts a trace stream on w, writing the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(formatVersion); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, opened: true}, nil
+}
+
+// Emit implements Sink. Encoding errors are deferred to Flush, matching
+// bufio semantics.
+func (w *Writer) Emit(ev Event) {
+	w.count++
+	w.buf[0] = byte(ev.Op)
+	n := 1
+	n += binary.PutUvarint(w.buf[n:], ev.A)
+	n += binary.PutUvarint(w.buf[n:], ev.B)
+	w.w.Write(w.buf[:n]) //nolint:errcheck // surfaced by Flush
+}
+
+// Count returns the number of events emitted.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered bytes and surfaces any deferred write error.
+func (w *Writer) Flush() error {
+	if !w.opened {
+		return errors.New("trace: writer not initialized")
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64
+}
+
+// NewReader validates the header and prepares to decode events.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header", ErrBadTrace)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes one event. It returns io.EOF at a clean end of stream and
+// ErrBadTrace on corruption.
+func (r *Reader) Next() (Event, error) {
+	opByte, err := r.r.ReadByte()
+	if err == io.EOF {
+		return Event{}, io.EOF
+	}
+	if err != nil {
+		return Event{}, err
+	}
+	if opByte >= byte(isa.NumOps) {
+		return Event{}, fmt.Errorf("%w: op byte %d", ErrBadTrace, opByte)
+	}
+	a, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: operand A: %v", ErrBadTrace, err)
+	}
+	b, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("%w: operand B: %v", ErrBadTrace, err)
+	}
+	r.count++
+	return Event{Op: isa.Op(opByte), A: a, B: b}, nil
+}
+
+// Count returns the number of events decoded so far.
+func (r *Reader) Count() uint64 { return r.count }
+
+// Replay streams every remaining event into sink, returning the count.
+func (r *Reader) Replay(sink Sink) (uint64, error) {
+	var n uint64
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Emit(ev)
+		n++
+	}
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memotable/internal/isa"
+)
+
+func TestMultiFansOut(t *testing.T) {
+	var a, b Counter
+	m := Multi{&a, &b}
+	m.Emit(Event{Op: isa.OpFMul})
+	m.Emit(Event{Op: isa.OpFDiv})
+	if a.Total() != 2 || b.Total() != 2 {
+		t.Fatalf("totals %d,%d", a.Total(), b.Total())
+	}
+	if a.Of(isa.OpFMul) != 1 || a.Of(isa.OpFDiv) != 1 || a.Of(isa.OpIMul) != 0 {
+		t.Fatalf("counter %+v", a.Counts)
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	var c Counter
+	c.Emit(Event{Op: isa.OpLoad})
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestFilterKeepsOnlySelected(t *testing.T) {
+	var rec Recorder
+	f := NewFilter(&rec, isa.OpFMul, isa.OpFDiv)
+	for _, op := range []isa.Op{isa.OpFMul, isa.OpLoad, isa.OpFDiv, isa.OpIAlu, isa.OpFMul} {
+		f.Emit(Event{Op: op})
+	}
+	if len(rec.Events) != 3 {
+		t.Fatalf("kept %d events, want 3", len(rec.Events))
+	}
+	for _, ev := range rec.Events {
+		if ev.Op != isa.OpFMul && ev.Op != isa.OpFDiv {
+			t.Fatalf("leaked op %v", ev.Op)
+		}
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	n := 0
+	SinkFunc(func(Event) { n++ }).Emit(Event{})
+	if n != 1 {
+		t.Fatal("SinkFunc not invoked")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	events := make([]Event, 5000)
+	for i := range events {
+		events[i] = Event{
+			Op: isa.Op(rng.Intn(int(isa.NumOps))),
+			A:  rng.Uint64(),
+			B:  rng.Uint64(),
+		}
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Fatalf("writer count %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if r.Count() != uint64(len(events)) {
+		t.Fatalf("reader count %d", r.Count())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op8 uint8, a, b uint64) bool {
+		ev := Event{Op: isa.Op(op8 % uint8(isa.NumOps)), A: a, B: b}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Emit(ev)
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Next()
+		return err == nil && got == ev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Emit(Event{Op: isa.OpFDiv, A: math.Float64bits(float64(i)), B: math.Float64bits(2)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Counter
+	n, err := r.Replay(&c)
+	if err != nil || n != 100 {
+		t.Fatalf("replay = %d,%v", n, err)
+	}
+	if c.Of(isa.OpFDiv) != 100 {
+		t.Fatalf("counter %d", c.Of(isa.OpFDiv))
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	// Bad magic.
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX\x01"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Bad version.
+	if _, err := NewReader(bytes.NewReader([]byte("MTRC\x09"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated header.
+	if _, err := NewReader(bytes.NewReader([]byte("MT"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("short header: %v", err)
+	}
+	// Bad op byte.
+	r, err := NewReader(bytes.NewReader([]byte("MTRC\x01\xFF\x00\x00")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad op: %v", err)
+	}
+	// Truncated operand.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Emit(Event{Op: isa.OpFMul, A: 1 << 60, B: 2})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r2, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated operand: %v", err)
+	}
+}

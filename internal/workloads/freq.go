@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"memotable/internal/imaging"
+	"memotable/internal/probe"
+	"memotable/internal/signal"
+)
+
+// The frequency-domain applications operate on COMPLEX images, as the
+// Khoros originals did. The complex input is constructed from the real
+// image and a one-pixel-shifted copy as the imaginary plane (a standard
+// quadrature stand-in), cropped to power-of-two geometry for the FFTs.
+
+// toField crops band b of the image to power-of-two dimensions (at most
+// 256) and loads it into a complex field.
+func toField(p *probe.Probe, in *imaging.Image, b int) *signal.Field {
+	w, h := 1, 1
+	for w*2 <= in.W && w < 256 {
+		w *= 2
+	}
+	for h*2 <= in.H && h < 256 {
+		h *= 2
+	}
+	f := signal.NewField(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			re := loadPix(p, in, x, y, b)
+			im := loadPix(p, in, clampXY(x+1, in.W), y, b)
+			f.Set(x, y, re, im)
+		}
+	}
+	return f
+}
+
+// fromField writes the field's real plane into an output image.
+func fromField(p *probe.Probe, f *signal.Field) *imaging.Image {
+	out := imaging.New(f.W, f.H, 1, imaging.Float)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			re, _ := f.At(x, y)
+			storePix(p, out, x, y, 0, re)
+		}
+	}
+	return out
+}
+
+// VBrf band-reject filters the image in the frequency domain: forward
+// 2-D FFT, a reject annulus, inverse FFT. Spectrum values are
+// high-entropy, so — as Table 7 reports — the multiplication hit ratio is
+// very low (.01); the value of vbrf to the study is as a counterexample.
+func VBrf(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	f := toField(p, in, 0)
+	signal.FFT2D(p, f, false)
+	signal.RadialMask(p, f, 0.15, 0.30, 0, 1)
+	signal.FFT2D(p, f, true)
+	return fromField(p, f)
+}
+
+// VBpf band-pass filters the image in the frequency domain, keeping only
+// a narrow annulus. Most spectrum samples multiply by the stop gain and
+// the sparse surviving spectrum yields more repetitive inverse-transform
+// values than vbrf.
+func VBpf(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	f := toField(p, in, 0)
+	signal.FFT2D(p, f, false)
+	signal.RadialMask(p, f, 0.05, 0.15, 1, 0)
+	signal.FFT2D(p, f, true)
+	return fromField(p, f)
+}
+
+// VRect2Pol converts rectangular complex data to polar form: magnitude
+// via square root, phase via a rational arctangent approximation whose
+// divisions take quantized operand pairs.
+func VRect2Pol(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, 2, imaging.Float)
+	for y := 0; y < in.H; y++ {
+		for x := 0; x < in.W; x++ {
+			pixelOverhead(p)
+			re := loadPix(p, in, x, y, 0)
+			im := loadPix(p, in, clampXY(x+1, in.W), y, 0)
+			mag2 := p.FAdd(p.FMul(re, re), p.FMul(im, im))
+			mag := p.FSqrt(mag2)
+			p.Branch()
+			// Phase is quantized to sectors before the arctangent: the
+			// ratio divides four-level-coarsened components.
+			var phase float64
+			rq, iq := float64(int(re)>>3), float64(int(im)>>3)
+			if rq != 0 {
+				t := p.FDiv(iq, rq)
+				// atan(t) ~ t / (1 + 0.28*t²)
+				phase = p.FDiv(t, p.FAdd(1, p.FMul(0.28, p.FMul(t, t))))
+			}
+			storePix(p, out, x, y, 0, mag)
+			storePix(p, out, x, y, 1, phase)
+		}
+	}
+	return out
+}
+
+// VMpp extracts 2-D information from a COMPLEX image: per-pixel power,
+// normalized real part and the local phase-difference energy.
+func VMpp(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	f := toField(p, in, 0)
+	out := imaging.New(f.W, f.H, 2, imaging.Float)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			pixelOverhead(p)
+			re, im := f.At(x, y)
+			p.Load(0x5000_0000 + uint64(y*f.W+x)*16)
+			power := p.FAdd(p.FMul(re, re), p.FMul(im, im))
+			p.Branch()
+			// Normalization uses the power floored to coarse bins, as the
+			// original's fixed-point magnitude stage did.
+			var normRe float64
+			pq := float64(int(power) &^ 4095)
+			if power != 0 {
+				normRe = p.FDiv(re, p.FAdd(1, pq))
+			}
+			storePix(p, out, x, y, 0, power)
+			storePix(p, out, x, y, 1, normRe)
+		}
+	}
+	return out
+}

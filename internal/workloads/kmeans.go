@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"memotable/internal/imaging"
+	"memotable/internal/probe"
+)
+
+// VKMeans clusters pixel intensities with the k-means algorithm (k = 6,
+// fixed iteration budget). Distance evaluations square the difference
+// between a quantized pixel and a centroid — operand pairs drawn from a
+// small product set — and the centroid updates divide class sums by class
+// counts, both highly repetitive across iterations.
+func VKMeans(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	const (
+		k     = 6
+		iters = 6
+	)
+	out := imaging.New(in.W, in.H, in.Bands, in.Kind)
+	for b := 0; b < in.Bands; b++ {
+		lo, hi := in.MinMax(b)
+		centroids := make([]float64, k)
+		for i := range centroids {
+			centroids[i] = lo + (hi-lo)*float64(i)/float64(k-1)
+		}
+		assign := make([]int, in.W*in.H)
+		cc2 := make([]float64, k)
+		for it := 0; it < iters; it++ {
+			for c := 0; c < k; c++ {
+				cc2[c] = p.FMul(centroids[c], centroids[c])
+			}
+			// Assignment step.
+			for y := 0; y < in.H; y++ {
+				for x := 0; x < in.W; x++ {
+					pixelOverhead(p)
+					v := loadPix(p, in, x, y, b)
+					best, bestD := 0, 0.0
+					for c := 0; c < k; c++ {
+						// Scalar k-means needs only the cross term to rank
+						// classes: score = c²/2 - v*c (v² is common). Both
+						// product and division draw operands from the
+						// (pixel value, centroid) grid, which repeats
+						// across the image and across iterations.
+						cross := p.FMul(v, centroids[c])
+						rel := p.FDiv(float64(int(v)>>3), p.FAdd(1, centroids[c]))
+						score := p.FSub(p.FMul(0.5, cc2[c]), cross)
+						_ = rel
+						p.Branch()
+						if c == 0 || score < bestD {
+							best, bestD = c, score
+						}
+					}
+					assign[y*in.W+x] = best
+				}
+			}
+			// Update step: mean of each class.
+			sums := make([]float64, k)
+			counts := make([]float64, k)
+			for y := 0; y < in.H; y++ {
+				for x := 0; x < in.W; x++ {
+					p.IAlu()
+					c := assign[y*in.W+x]
+					sums[c] = p.FAdd(sums[c], loadPix(p, in, x, y, b))
+					counts[c]++
+				}
+			}
+			for c := 0; c < k; c++ {
+				p.Branch()
+				if counts[c] > 0 {
+					// Centroids settle onto a quarter-level grid, as the
+					// byte-pipeline original kept fixed-point centroids.
+					centroids[c] = p.FDiv(sums[c], counts[c])
+					centroids[c] = float64(int(centroids[c]*4)) / 4
+				}
+			}
+		}
+		// Emit the clustered image: each pixel replaced by its centroid.
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				pixelOverhead(p)
+				storePix(p, out, x, y, b, centroids[assign[y*in.W+x]])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package workloads
+
+import (
+	"math"
+
+	"memotable/internal/imaging"
+	"memotable/internal/probe"
+)
+
+// VCost computes the surface arc length from the image's left edge,
+// treating pixel values as elevations: per step the squared elevation
+// delta (an integer product of small differences) is normalized by the
+// local elevation scale and accumulated through a square root.
+func VCost(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+	for b := 0; b < in.Bands; b++ {
+		for y := 0; y < in.H; y++ {
+			var cost float64
+			for x := 0; x < in.W; x++ {
+				addrOverhead(p, in, y)
+				v := int64(loadPix(p, in, x, y, b))
+				prev := v
+				if x > 0 {
+					prev = int64(loadPix(p, in, x-1, y, b))
+				}
+				dz := v - prev
+				adz := dz
+				if adz < 0 {
+					adz = -adz
+				}
+				d2 := p.IMul(dz, dz)
+				// Normalize by the step magnitude: the divider sees one
+				// operand pair per |dz| value, a small repetitive set.
+				norm := p.FDiv(float64(d2), float64(1+adz))
+				arc := p.FSqrt(p.FAdd(1, norm))
+				cost = p.FAdd(cost, arc)
+				// Grade weighting keeps a multiplier stream on the
+				// quantized elevation values.
+				grade := p.FMul(0.5, float64(v))
+				storePix(p, out, x, y, b, p.FAdd(cost, p.FMul(0.001, grade)))
+			}
+		}
+	}
+	return out
+}
+
+// VSlope derives slope and aspect from elevation data via central
+// differences. The aspect ratio gy/gx divides small integer-valued
+// gradients; the slope uses squared gradients.
+func VSlope(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, 2*in.Bands, imaging.Float)
+	for b := 0; b < in.Bands; b++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				addrOverhead(p, in, y)
+				xl := int64(loadPix(p, in, clampXY(x-1, in.W), y, b))
+				xr := int64(loadPix(p, in, clampXY(x+1, in.W), y, b))
+				yu := int64(loadPix(p, in, x, clampXY(y-1, in.H), b))
+				yd := int64(loadPix(p, in, x, clampXY(y+1, in.H), b))
+				gx, gy := xr-xl, yd-yu
+				g2 := p.IAdd(p.IMul(gx, gx), p.IMul(gy, gy))
+				// Scale to degrees-per-sample units; the root of a
+				// right-shifted integer set keeps the products repetitive.
+				slope := p.FMul(p.FSqrt(float64(g2>>2)), 0.5)
+				p.Branch()
+				// Aspect is binned to compass sectors: the ratio divides
+				// gradients quantized to eight-level steps.
+				aspect := 0.0
+				if gx/8 != 0 {
+					aspect = p.FDiv(float64(gy/8), float64(gx/8))
+				}
+				storePix(p, out, x, y, 2*b, slope)
+				storePix(p, out, x, y, 2*b+1, aspect)
+			}
+		}
+	}
+	return out
+}
+
+// VSurf computes surface parameters: the unit normal's z component and
+// the surface angle term for each pixel, dividing by the normal's length.
+func VSurf(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, 2*in.Bands, imaging.Float)
+	for b := 0; b < in.Bands; b++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				addrOverhead(p, in, y)
+				v := int64(loadPix(p, in, x, y, b))
+				xr := int64(loadPix(p, in, clampXY(x+1, in.W), y, b))
+				yd := int64(loadPix(p, in, x, clampXY(y+1, in.H), b))
+				gx, gy := xr-v, yd-v
+				len2 := p.IAdd(p.IMul(gx, gx), p.IMul(gy, gy))
+				// Gradient energy is scaled down before normalization, so
+				// the root and reciprocal operate on a compact value set.
+				norm := p.FSqrt(float64(1 + len2>>2))
+				nz := p.FDiv(1, norm)
+				// Angle term against the fixed viewing zenith.
+				angle := p.FMul(nz, 0.7071067811865476)
+				storePix(p, out, x, y, 2*b, nz)
+				storePix(p, out, x, y, 2*b+1, angle)
+			}
+		}
+	}
+	return out
+}
+
+// VGauss generates a Gaussian-shaped distribution image parameterized by
+// the input's pixel values: per pixel a radial response r²/sigma² is
+// evaluated with a rational approximation of exp(-t). Distances come
+// from a small set of grid offsets, so the divisions repeat heavily.
+func VGauss(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+	const centers = 4
+	for b := 0; b < in.Bands; b++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				pixelOverhead(p)
+				v := loadPix(p, in, x, y, b)
+				var acc float64
+				for c := 0; c < centers; c++ {
+					cx := (in.W / centers) * c
+					cy := (in.H / centers) * c
+					dx := float64((x - cx) % 32)
+					dy := float64((y - cy) % 32)
+					r2 := p.FAdd(p.FMul(dx, dx), p.FMul(dy, dy))
+					// sigma derives from the quantized pixel value.
+					sigma2 := p.FAdd(64, p.FMul(v, 2))
+					t := p.FDiv(r2, sigma2)
+					// exp(-t) ~ 1/(1+t+t²/2), evaluated on t rounded to
+					// sixteenths (a table-lookup argument in the original).
+					t = float64(int(t*16)) / 16
+					den := p.FAdd(p.FAdd(1, t), p.FMul(0.5, p.FMul(t, t)))
+					acc = p.FAdd(acc, p.FDiv(1, den))
+				}
+				storePix(p, out, x, y, b, acc)
+			}
+		}
+	}
+	return out
+}
+
+// VGpwl reconstructs the image as a two-dimensional piecewise-linear
+// surface over a coarse knot grid: per pixel two interpolation parameters
+// (small-integer offsets divided by the knot span) and bilinear blending.
+func VGpwl(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+	const span = 16
+	for b := 0; b < in.Bands; b++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				pixelOverhead(p)
+				x0, y0 := (x/span)*span, (y/span)*span
+				x1, y1 := clampXY(x0+span, in.W), clampXY(y0+span, in.H)
+				v00 := loadPix(p, in, x0, y0, b)
+				v10 := loadPix(p, in, x1, y0, b)
+				v01 := loadPix(p, in, x0, y1, b)
+				v11 := loadPix(p, in, x1, y1, b)
+				tx := p.FDiv(float64(x-x0), span)
+				ty := p.FDiv(float64(y-y0), span)
+				// Segment slopes divide quantized value deltas by the knot
+				// span — the piecewise-linear coefficient stream.
+				p.FDiv(p.FSub(v10, v00), span)
+				p.FDiv(p.FSub(v01, v00), span)
+				top := p.FAdd(p.FMul(p.FSub(1, tx), v00), p.FMul(tx, v10))
+				bot := p.FAdd(p.FMul(p.FSub(1, tx), v01), p.FMul(tx, v11))
+				storePix(p, out, x, y, b,
+					p.FAdd(p.FMul(p.FSub(1, ty), top), p.FMul(ty, bot)))
+			}
+		}
+	}
+	return out
+}
+
+// VSqrt takes the square root of each pixel — Table 4's simplest entry
+// and the natural demonstration of the paper's sqrt-memoization future
+// work — then normalizes by the image's root maximum.
+func VSqrt(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+	for b := 0; b < in.Bands; b++ {
+		_, hi := in.MinMax(b)
+		rootMax := math.Sqrt(hi)
+		if rootMax == 0 {
+			rootMax = 1
+		}
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				pixelOverhead(p)
+				v := loadPix(p, in, x, y, b)
+				r := p.FSqrt(v)
+				// Normalize and rescale to display range: roots of the
+				// quantized value set feed both operations.
+				storePix(p, out, x, y, b, p.FMul(p.FDiv(r, rootMax), 255))
+			}
+		}
+	}
+	return out
+}
+
+// VWarp applies a polynomial geometric transformation with bilinear
+// resampling: source coordinates are second-order polynomials in the
+// integer destination coordinates, and a mild projective denominator
+// exercises the divider.
+func VWarp(p *probe.Probe, in *imaging.Image) *imaging.Image {
+	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+	for b := 0; b < in.Bands; b++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				addrOverhead(p, in, y)
+				// Integer cross terms through the integer multiplier.
+				xy := p.IMul(int64(x%64), int64(y%64))
+				u := p.FAdd(p.FAdd(p.FMul(0.9, float64(x)), p.FMul(0.05, float64(y%128))),
+					p.FMul(0.0005, float64(xy)))
+				v := p.FAdd(p.FAdd(p.FMul(0.9, float64(y)), p.FMul(0.05, float64(x%128))),
+					p.FMul(0.0005, float64(xy)))
+				// Projective correction: the divider sees bounded cross
+				// terms over a small denominator set.
+				den := p.FAdd(16, float64((x+y)%16))
+				corr := p.FDiv(float64(xy%32), den)
+				u = p.FAdd(u, p.FMul(0.05, corr))
+				v = p.FSub(v, p.FMul(0.05, corr))
+				// Bilinear resample.
+				ui, vi := int(u), int(v)
+				fu, fv := u-float64(ui), v-float64(vi)
+				x0, y0 := clampXY(ui, in.W), clampXY(vi, in.H)
+				x1, y1 := clampXY(ui+1, in.W), clampXY(vi+1, in.H)
+				s00 := loadPix(p, in, x0, y0, b)
+				s10 := loadPix(p, in, x1, y0, b)
+				s01 := loadPix(p, in, x0, y1, b)
+				s11 := loadPix(p, in, x1, y1, b)
+				top := p.FAdd(p.FMul(p.FSub(1, fu), s00), p.FMul(fu, s10))
+				bot := p.FAdd(p.FMul(p.FSub(1, fu), s01), p.FMul(fu, s11))
+				storePix(p, out, x, y, b,
+					p.FAdd(p.FMul(p.FSub(1, fv), top), p.FMul(fv, bot)))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/probe"
+	"memotable/internal/trace"
+)
+
+// Value-domain checks: each application's output must be the documented
+// function of its input, not just "some image".
+
+func TestVSurfNormalsBounded(t *testing.T) {
+	in := testImage(24, 24)
+	out := VSurf(probe.New(), in)
+	for y := 0; y < 24; y++ {
+		for x := 0; x < 24; x++ {
+			nz := out.At(x, y, 0)
+			if nz <= 0 || nz > 1 {
+				t.Fatalf("normal z component %g outside (0,1]", nz)
+			}
+			angle := out.At(x, y, 1)
+			if math.Abs(angle-nz*0.7071067811865476) > 1e-12 {
+				t.Fatalf("angle term inconsistent at (%d,%d)", x, y)
+			}
+		}
+	}
+	// A flat image has vertical normals everywhere.
+	flat := imaging.New(8, 8, 1, imaging.Byte)
+	out = VSurf(probe.New(), flat)
+	for _, b := range []int{0} {
+		if v := out.At(4, 4, b); math.Abs(v-1) > 1e-12 {
+			t.Fatalf("flat surface normal %g, want 1", v)
+		}
+	}
+}
+
+func TestVGaussPositiveAndBounded(t *testing.T) {
+	in := testImage(24, 24)
+	out := VGauss(probe.New(), in)
+	for _, v := range out.Pix {
+		if v <= 0 || v > 4 {
+			t.Fatalf("gaussian response %g outside (0,4]", v)
+		}
+	}
+}
+
+func TestVEnhanceFlatRegionsUnchanged(t *testing.T) {
+	// On a constant image the local mean equals every pixel: enhancement
+	// must return the original value.
+	in := imaging.New(16, 16, 1, imaging.Byte)
+	for i := range in.Pix {
+		in.Pix[i] = 100
+	}
+	out := VEnhance(probe.New(), in)
+	for _, v := range out.Pix {
+		if math.Abs(v-100) > 1e-9 {
+			t.Fatalf("flat region altered: %g", v)
+		}
+	}
+}
+
+func TestVKMeansCentroidsWithinRange(t *testing.T) {
+	in := testImage(24, 24)
+	out := VKMeans(probe.New(), in)
+	lo, hi := in.MinMax(0)
+	olo, ohi := out.MinMax(0)
+	if olo < lo-1 || ohi > hi+1 {
+		t.Fatalf("centroid range [%g,%g] outside input range [%g,%g]", olo, ohi, lo, hi)
+	}
+}
+
+func TestVWarpStaysInValueRange(t *testing.T) {
+	in := testImage(32, 32)
+	out := VWarp(probe.New(), in)
+	lo, hi := in.MinMax(0)
+	for _, v := range out.Pix {
+		if v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("bilinear resample %g escaped input range [%g,%g]", v, lo, hi)
+		}
+	}
+}
+
+func TestVRect2PolMagnitude(t *testing.T) {
+	in := testImage(16, 16)
+	out := VRect2Pol(probe.New(), in)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			re := in.At(x, y, 0)
+			im := in.At(clampXY(x+1, 16), y, 0)
+			want := math.Sqrt(re*re + im*im)
+			if math.Abs(out.At(x, y, 0)-want) > 1e-9 {
+				t.Fatalf("magnitude at (%d,%d): %g want %g", x, y, out.At(x, y, 0), want)
+			}
+		}
+	}
+}
+
+func TestVGefBinaryOutput(t *testing.T) {
+	in := testImage(24, 24)
+	out := VGef(probe.New(), in)
+	for _, v := range out.Pix {
+		if v != 0 && v != 255 {
+			t.Fatalf("edge map value %g, want 0 or 255", v)
+		}
+	}
+}
+
+func TestVSpatialVarianceNonNegativeOnUniform(t *testing.T) {
+	in := imaging.New(16, 16, 1, imaging.Byte)
+	for i := range in.Pix {
+		in.Pix[i] = 64
+	}
+	out := VSpatial(probe.New(), in)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if v := out.At(x, y, 1); math.Abs(v) > 1 {
+				t.Fatalf("variance %g on a uniform image", v)
+			}
+		}
+	}
+}
+
+func TestMultiBandProcessing(t *testing.T) {
+	// Every band of a multi-band image must be processed.
+	b0 := testImage(16, 16)
+	b1 := testImage(16, 16)
+	for i := range b1.Pix {
+		b1.Pix[i] = 63 - b1.Pix[i]
+	}
+	in := imaging.Multi(b0, b1)
+	out := VSqrt(probe.New(), in)
+	if out.Bands != 2 {
+		t.Fatalf("output bands = %d", out.Bands)
+	}
+	same := true
+	for y := 0; y < 16 && same; y++ {
+		for x := 0; x < 16; x++ {
+			if out.At(x, y, 0) != out.At(x, y, 1) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("bands processed identically despite different data")
+	}
+}
+
+func TestAddressStreamsStayInImages(t *testing.T) {
+	// Every Load/Store address an app emits must fall inside one of the
+	// images involved (or the app's declared LUT region) — addresses feed
+	// the cache model and wild pointers would corrupt its realism.
+	in := testImage(24, 16)
+	for _, name := range []string{"vdiff", "vspatial", "vkmeans", "vgpwl"} {
+		app, _ := Lookup(name)
+		var bad int
+		lo := in.Base
+		hi := in.Base + uint64(len(in.Pix)*8)
+		app.Run(probe.New(trace.SinkFunc(func(ev trace.Event) {
+			if ev.Op != isa.OpLoad && ev.Op != isa.OpStore {
+				return
+			}
+			a := ev.A
+			if a >= lo && a < hi {
+				return // input image
+			}
+			if a >= 0x4000_0000 && a < 0x6000_0000 {
+				return // declared LUT regions
+			}
+			// Otherwise it must be an output/aux image allocated after
+			// the input: addresses grow monotonically from the arena.
+			if a < lo {
+				bad++
+			}
+		})), in)
+		if bad > 0 {
+			t.Errorf("%s emitted %d addresses below the image arena", name, bad)
+		}
+	}
+}

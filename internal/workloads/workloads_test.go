@@ -1,0 +1,257 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/probe"
+	"memotable/internal/trace"
+)
+
+// testImage builds a small quantized input.
+func testImage(w, h int) *imaging.Image {
+	im := imaging.Plasma(w, h, 42, 0.6)
+	im.Quantize(64)
+	im.Kind = imaging.Byte
+	return im
+}
+
+func countOps(t *testing.T, app App, in *imaging.Image) *trace.Counter {
+	t.Helper()
+	var c trace.Counter
+	p := probe.New(&c)
+	out := app.Run(p, in)
+	if out == nil || out.W <= 0 || out.H <= 0 {
+		t.Fatalf("%s returned invalid output", app.Name)
+	}
+	for _, v := range out.Pix {
+		if math.IsNaN(v) {
+			t.Fatalf("%s produced NaN", app.Name)
+		}
+	}
+	return &c
+}
+
+func TestAllAppsRunAndEmit(t *testing.T) {
+	in := testImage(32, 24)
+	for _, app := range Apps() {
+		c := countOps(t, app, in)
+		if c.Total() == 0 {
+			t.Errorf("%s emitted no events", app.Name)
+		}
+		if c.Of(isa.OpLoad) == 0 {
+			t.Errorf("%s emitted no loads", app.Name)
+		}
+		if c.Of(isa.OpFMul) == 0 {
+			t.Errorf("%s emitted no fp multiplications", app.Name)
+		}
+	}
+}
+
+// TestOpProfiles checks each application's operation mix against the
+// presence/absence pattern of the paper's Table 7 ('-' = class absent).
+func TestOpProfiles(t *testing.T) {
+	in := testImage(32, 24)
+	profiles := map[string]struct{ imul, fdiv bool }{
+		"vdiff":     {true, false},
+		"vcost":     {true, true},
+		"vgauss":    {false, true},
+		"vspatial":  {true, true},
+		"vslope":    {true, true},
+		"vgef":      {true, false},
+		"vdetilt":   {false, false},
+		"vwarp":     {true, true},
+		"venhance":  {false, true},
+		"vrect2pol": {false, true},
+		"vmpp":      {false, true},
+		"vbrf":      {true, true},
+		"vbpf":      {true, true},
+		"vsurf":     {true, true},
+		"vgpwl":     {false, true},
+		"venhpatch": {true, false},
+		"vkmeans":   {false, true},
+		"vsqrt":     {false, true},
+	}
+	for _, app := range Apps() {
+		want, ok := profiles[app.Name]
+		if !ok {
+			t.Errorf("no profile for %s", app.Name)
+			continue
+		}
+		c := countOps(t, app, in)
+		if got := c.Of(isa.OpIMul) > 0; got != want.imul {
+			t.Errorf("%s: imul present=%v, want %v", app.Name, got, want.imul)
+		}
+		if got := c.Of(isa.OpFDiv) > 0; got != want.fdiv {
+			t.Errorf("%s: fdiv present=%v, want %v", app.Name, got, want.fdiv)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Apps()) != 18 {
+		t.Fatalf("registry has %d apps, want 18", len(Apps()))
+	}
+	if len(Names()) != 18 {
+		t.Fatal("Names mismatch")
+	}
+	a, err := Lookup("vkmeans")
+	if err != nil || a.Name != "vkmeans" {
+		t.Fatalf("Lookup(vkmeans) = %v, %v", a.Name, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup accepted unknown app")
+	}
+	for _, app := range Apps() {
+		if len(app.Inputs) < 8 {
+			t.Errorf("%s has %d default inputs; the paper used 8-14", app.Name, len(app.Inputs))
+		}
+		for _, in := range app.Inputs {
+			if imaging.Find(in) == nil {
+				t.Errorf("%s references unknown input %q", app.Name, in)
+			}
+		}
+	}
+}
+
+func TestVSqrtValues(t *testing.T) {
+	in := testImage(16, 16)
+	out := VSqrt(probe.New(), in)
+	_, hi := in.MinMax(0)
+	rootMax := math.Sqrt(hi)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			want := math.Sqrt(in.At(x, y, 0)) / rootMax * 255
+			if math.Abs(out.At(x, y, 0)-want) > 1e-12 {
+				t.Fatalf("vsqrt(%d,%d) = %g, want %g", x, y, out.At(x, y, 0), want)
+			}
+		}
+	}
+}
+
+func TestVDiffFlatImageIsZero(t *testing.T) {
+	in := imaging.New(16, 16, 1, imaging.Byte)
+	for i := range in.Pix {
+		in.Pix[i] = 7
+	}
+	out := VDiff(probe.New(), in)
+	for _, v := range out.Pix {
+		if v != 0 {
+			t.Fatalf("gradient of flat image = %g", v)
+		}
+	}
+}
+
+func TestVDetiltRemovesRamp(t *testing.T) {
+	in := imaging.Ramp(32, 32)
+	out := VDetilt(probe.New(), in)
+	for _, v := range out.Pix {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("detilt left residual %g on a perfect plane", v)
+		}
+	}
+}
+
+func TestVSlopeOnRamp(t *testing.T) {
+	// A diagonal ramp quantized to many levels has near-constant slope in
+	// the interior and aspect gy/gx = 1.
+	in := imaging.Ramp(32, 32)
+	for i := range in.Pix {
+		// Steep enough that the eight-level aspect binning sees equal
+		// nonzero gradients in both directions.
+		in.Pix[i] *= 62 * 8
+	}
+	out := VSlope(probe.New(), in)
+	aspect := out.At(16, 16, 1)
+	if math.Abs(aspect-1) > 1e-9 {
+		t.Fatalf("aspect on diagonal ramp = %g, want 1", aspect)
+	}
+}
+
+func TestVKMeansQuantizesToK(t *testing.T) {
+	in := testImage(24, 24)
+	out := VKMeans(probe.New(), in)
+	distinct := map[float64]bool{}
+	for _, v := range out.Pix {
+		distinct[v] = true
+	}
+	if len(distinct) > 6 {
+		t.Fatalf("kmeans output has %d levels, want <= 6", len(distinct))
+	}
+}
+
+func TestVGpwlInterpolatesKnots(t *testing.T) {
+	in := testImage(33, 33)
+	out := VGpwl(probe.New(), in)
+	// At knot positions the reconstruction equals the input.
+	for y := 0; y < 33; y += 16 {
+		for x := 0; x < 33; x += 16 {
+			if math.Abs(out.At(x, y, 0)-in.At(x, y, 0)) > 1e-9 {
+				t.Fatalf("knot (%d,%d): %g vs %g", x, y, out.At(x, y, 0), in.At(x, y, 0))
+			}
+		}
+	}
+}
+
+func TestVEnhPatchStretchesContrast(t *testing.T) {
+	in := testImage(32, 32)
+	out := VEnhPatch(probe.New(), in)
+	_, inHi := in.MinMax(0)
+	_, outHi := out.MinMax(0)
+	if outHi <= inHi {
+		t.Fatalf("contrast not stretched: in max %g, out max %g", inHi, outHi)
+	}
+}
+
+func TestVBpfPreservesGeometry(t *testing.T) {
+	in := testImage(40, 24) // crops to 32x16
+	out := VBpf(probe.New(), in)
+	if out.W != 32 || out.H != 16 {
+		t.Fatalf("vbpf output %dx%d, want 32x16", out.W, out.H)
+	}
+}
+
+func TestVBrfRejectsBand(t *testing.T) {
+	// An image that is pure DC passes a band-reject filter unchanged.
+	in := imaging.New(32, 32, 1, imaging.Byte)
+	for i := range in.Pix {
+		in.Pix[i] = 9
+	}
+	out := VBrf(probe.New(), in)
+	for _, v := range out.Pix {
+		if math.Abs(v-9) > 1e-9 {
+			t.Fatalf("DC image altered: %g", v)
+		}
+	}
+}
+
+func TestVCostMonotoneAlongRows(t *testing.T) {
+	in := testImage(24, 8)
+	out := VCost(probe.New(), in)
+	for y := 0; y < 8; y++ {
+		prev := -1.0
+		for x := 0; x < 24; x++ {
+			v := out.At(x, y, 0)
+			if v <= prev {
+				t.Fatalf("cost not monotone at (%d,%d)", x, y)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	in := testImage(24, 16)
+	for _, name := range []string{"vspatial", "vgauss", "vkmeans"} {
+		app, _ := Lookup(name)
+		a := app.Run(probe.New(), in)
+		b := app.Run(probe.New(), in)
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				t.Fatalf("%s not deterministic", name)
+			}
+		}
+	}
+}

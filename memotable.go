@@ -1,0 +1,199 @@
+// Package memotable is a library-level reproduction of "Accelerating
+// Multi-Media Processing by Implementing Memoing in Multiplication and
+// Division Units" (Citron, Feitelson, Rudolph; ASPLOS 1998).
+//
+// A MEMO-TABLE is a small cache-like lookup table attached to a
+// multi-cycle computation unit (integer multiplier, floating-point
+// multiplier, divider, square root). Operands are presented to the table
+// and the unit in parallel: a tag hit returns the previously computed
+// result in one cycle and aborts the unit; a miss costs nothing extra and
+// the completed result is inserted for future reuse.
+//
+// This package is the public facade over the internal implementation:
+//
+//   - MEMO-TABLE construction and memo-enhanced units (NewTable, NewUnit);
+//   - operand trace capture and replay in the role the paper's Shade
+//     tracing played (Capture, Replay);
+//   - the paper's full experiment suite (Tables 5–13, Figures 2–4) via
+//     RunExperiment;
+//   - the cycle simulator used for the speedup studies (cpu, via the
+//     experiments drivers).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper's.
+package memotable
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"memotable/internal/experiments"
+	"memotable/internal/isa"
+	"memotable/internal/memo"
+	"memotable/internal/probe"
+	"memotable/internal/trace"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Table is a MEMO-TABLE (§2.1 of the paper).
+	Table = memo.Table
+	// Config selects table geometry and tagging scheme.
+	Config = memo.Config
+	// Unit couples a computation unit with its MEMO-TABLE (Figure 1).
+	Unit = memo.Unit
+	// Stats carries a table's hit/miss/trivial counters.
+	Stats = memo.Stats
+	// TrivialPolicy selects trivial-operand handling (Table 9).
+	TrivialPolicy = memo.TrivialPolicy
+	// Outcome reports how a memo-enhanced operation completed.
+	Outcome = memo.Outcome
+	// Op is an operation class.
+	Op = isa.Op
+	// Probe is the instrumented arithmetic layer workloads compute
+	// through.
+	Probe = probe.Probe
+	// Event is one dynamic operation in a trace.
+	Event = trace.Event
+)
+
+// Operation classes.
+const (
+	IMul  = isa.OpIMul
+	FMul  = isa.OpFMul
+	FDiv  = isa.OpFDiv
+	FSqrt = isa.OpFSqrt
+)
+
+// Trivial-operation policies.
+const (
+	CacheAll       = memo.CacheAll
+	NonTrivialOnly = memo.NonTrivialOnly
+	Integrated     = memo.Integrated
+)
+
+// Outcomes.
+const (
+	Miss    = memo.Miss
+	Hit     = memo.Hit
+	Trivial = memo.Trivial
+	Bypass  = memo.Bypass
+)
+
+// Shared is a multi-ported MEMO-TABLE serving several computation units
+// (§2.3).
+type Shared = memo.Shared
+
+// NewShared wraps a table for multi-ported use.
+func NewShared(table *Table, ports int) *Shared { return memo.NewShared(table, ports) }
+
+// Paper32x4 returns the paper's basic configuration: 32 entries in sets
+// of 4, full-value tags.
+func Paper32x4() Config { return memo.Paper32x4() }
+
+// Infinite returns the idealized unbounded fully associative table.
+func Infinite() Config { return memo.Infinite() }
+
+// NewTable builds a MEMO-TABLE for an operation class.
+func NewTable(op Op, cfg Config) *Table { return memo.New(op, cfg) }
+
+// NewUnit wires a MEMO-TABLE to its computation unit. A nil compute
+// function uses host arithmetic.
+func NewUnit(table *Table, policy TrivialPolicy, compute func(a, b uint64) uint64) *Unit {
+	return memo.NewUnit(table, policy, compute)
+}
+
+// NewProbe builds an instrumentation probe feeding the given sinks.
+func NewProbe(sinks ...trace.Sink) *Probe { return probe.New(sinks...) }
+
+// Capture runs an instrumented program and streams its operand trace to
+// w in the binary trace format, returning the event count.
+func Capture(w io.Writer, run func(*Probe)) (uint64, error) {
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	run(probe.New(tw))
+	if err := tw.Flush(); err != nil {
+		return tw.Count(), err
+	}
+	return tw.Count(), nil
+}
+
+// Replay streams a captured trace through MEMO-TABLEs built from cfg and
+// returns the per-class hit statistics.
+func Replay(r io.Reader, cfg Config, policy TrivialPolicy) (map[Op]Stats, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	set := experiments.NewTableSet(cfg, policy)
+	if _, err := tr.Replay(set); err != nil {
+		return nil, err
+	}
+	out := make(map[Op]Stats)
+	for _, op := range experiments.MemoOps {
+		if u := set.Unit(op); u != nil && u.TotalOps() > 0 {
+			out[op] = u.Table().Stats()
+		}
+	}
+	return out, nil
+}
+
+// Scale selects experiment input sizes.
+type Scale = experiments.Scale
+
+// Scales.
+const (
+	Tiny  = experiments.Tiny
+	Quick = experiments.Quick
+	Full  = experiments.Full
+)
+
+// experimentRunners maps experiment names to their drivers.
+var experimentRunners = map[string]func(Scale) string{
+	"table1":  func(Scale) string { return experiments.Table1() },
+	"table5":  func(Scale) string { return experiments.Table5().Render() },
+	"table6":  func(Scale) string { return experiments.Table6().Render() },
+	"table7":  func(s Scale) string { return experiments.Table7(s).Render() },
+	"table8":  func(s Scale) string { return experiments.Table8(s).Render() },
+	"table9":  func(s Scale) string { return experiments.Table9(s).Render() },
+	"table10": func(s Scale) string { return experiments.Table10(s).Render() },
+	"table11": func(s Scale) string { return experiments.Table11(s).Render() },
+	"table12": func(s Scale) string { return experiments.Table12(s).Render() },
+	"table13": func(s Scale) string { return experiments.Table13(s).Render() },
+	"figure2": func(s Scale) string { return experiments.Figure2(s).Render() },
+	"sqrt-extension": func(s Scale) string {
+		return experiments.ExtensionSqrt(s).Render()
+	},
+	"recip-comparison": func(s Scale) string {
+		return experiments.ExtensionRecip(s).Render()
+	},
+	"reuse-comparison": func(s Scale) string {
+		return experiments.ReuseCompare(s).Render()
+	},
+	"figure3": func(s Scale) string { return experiments.Figure3(s).Render() },
+	"figure4": func(s Scale) string { return experiments.Figure4(s).Render() },
+}
+
+// Experiments lists the runnable experiment names.
+func Experiments() []string {
+	names := make([]string, 0, len(experimentRunners))
+	for n := range experimentRunners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunExperiment reproduces one of the paper's tables or figures and
+// returns its rendered text.
+func RunExperiment(name string, scale Scale) (string, error) {
+	run, ok := experimentRunners[name]
+	if !ok {
+		return "", fmt.Errorf("memotable: unknown experiment %q (have %v)", name, Experiments())
+	}
+	return run(scale), nil
+}
