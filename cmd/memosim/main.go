@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	memosim [-scale tiny|quick|full] [-run all|table5|...|figure4]
+//	memosim [-scale tiny|quick|full] [-run all|table5|...|figure4] [-parallel N]
 package main
 
 import (
@@ -20,6 +20,8 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "input scale: tiny, quick or full")
 	runFlag := flag.String("run", "all", "experiment to run: all, or one of "+
 		strings.Join(memotable.Experiments(), ", "))
+	parallelFlag := flag.Int("parallel", 0,
+		"experiment engine workers: 1 is serial, 0 selects GOMAXPROCS")
 	flag.Parse()
 
 	var scale memotable.Scale
@@ -35,18 +37,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One engine for the whole invocation: its trace cache makes workloads
+	// shared between experiments run once per process, and its worker pool
+	// fans each experiment's cells across -parallel goroutines. Output is
+	// bit-identical at any worker count.
+	eng := memotable.NewEngine(*parallelFlag)
+
 	names := memotable.Experiments()
 	if *runFlag != "all" {
 		names = strings.Split(*runFlag, ",")
 	}
 	for _, name := range names {
 		start := time.Now()
-		out, err := memotable.RunExperiment(strings.TrimSpace(name), scale)
+		out, err := memotable.RunExperimentWith(eng, strings.TrimSpace(name), scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memosim:", err)
 			os.Exit(2)
 		}
 		fmt.Println(out)
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v, %d workers)\n\n", name, time.Since(start).Round(time.Millisecond), eng.Workers())
 	}
 }

@@ -1,0 +1,57 @@
+package memotable_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memotable"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite experiment goldens from the serial reference path")
+
+// TestExperimentGoldens pins every table and figure of the evaluation
+// byte for byte. The goldens are written (under -update) by the serial
+// reference engine; the routine run produces each experiment on a
+// multi-worker engine with a shared trace cache — so a passing run proves
+// the parallel engine's output is byte-identical to the serial path.
+func TestExperimentGoldens(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		serial := memotable.NewEngine(1)
+		for _, name := range memotable.Experiments() {
+			out, err := memotable.RunExperimentWith(serial, name, memotable.Tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", name+".golden")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+
+	eng := memotable.NewEngine(8)
+	for _, name := range memotable.Experiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out, err := memotable.RunExperimentWith(eng, name, memotable.Tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", name+".golden")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test -run TestExperimentGoldens -update .`): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("parallel-engine output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s",
+					out, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package arith
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// The differential suite pins every unit model against the host's IEEE-754
+// arithmetic over a shared operand corpus: an explicit edge grid (signed
+// zeros, infinities, NaN, denormals, exact powers of two, the identity
+// operands x*1, x/1, sqrt(1)) crossed with fixed-seed random operands drawn
+// both as values and as raw bit patterns (the latter reach NaN payloads,
+// denormal ranges and exponent extremes that value-space draws never hit).
+//
+// Bit-exactness is required everywhere except the one documented
+// divergence: any NaN result is returned as the canonical quiet NaN
+// (quietNaN()), where the host may propagate an input payload. For NaN
+// results the suite therefore asserts NaN-ness and canonical bits instead
+// of host bits.
+
+// edgeFloats is the explicit edge grid.
+var edgeFloats = []float64{
+	0, math.Copysign(0, -1),
+	1, -1, 2, -2, 0.5, -0.5,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.MaxFloat64, -math.MaxFloat64,
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.Float64frombits(0x000fffffffffffff), // largest subnormal
+	math.Float64frombits(0x0010000000000000), // smallest normal
+	math.Float64frombits(0x7ff8000000000001), // NaN with payload
+	1e308, 1e-308, 3, 10, 1.0 / 3.0, math.Pi,
+}
+
+// randomFloats draws n operands per flavour with a fixed seed: raw bit
+// patterns, normal-range values, and forced denormals.
+func randomFloats(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		out = append(out, math.Float64frombits(rng.Uint64()))
+		out = append(out, (rng.Float64()-0.5)*math.Pow(2, float64(rng.Intn(120)-60)))
+		out = append(out, math.Float64frombits(rng.Uint64()&0x800fffffffffffff)) // denormal
+	}
+	return out
+}
+
+// checkDiff asserts got matches the host result want, with the canonical
+// quiet-NaN divergence applied.
+func checkDiff(t *testing.T, opName string, a, b, got, want float64) {
+	t.Helper()
+	if math.IsNaN(want) {
+		if !math.IsNaN(got) {
+			t.Fatalf("%s(%g [%#x], %g [%#x]) = %g, want NaN",
+				opName, a, math.Float64bits(a), b, math.Float64bits(b), got)
+		}
+		if math.Float64bits(got) != math.Float64bits(quietNaN()) {
+			t.Fatalf("%s(%g, %g): NaN result %#x is not the canonical quiet NaN %#x",
+				opName, a, b, math.Float64bits(got), math.Float64bits(quietNaN()))
+		}
+		return
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s(%g [%#x], %g [%#x]) = %g [%#x], want %g [%#x]",
+			opName, a, math.Float64bits(a), b, math.Float64bits(b),
+			got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func TestDifferentialMulFloat64(t *testing.T) {
+	var m Multiplier
+	for _, a := range edgeFloats {
+		for _, b := range edgeFloats {
+			checkDiff(t, "MulFloat64", a, b, m.MulFloat64(a, b), a*b)
+		}
+	}
+	ops := randomFloats(11, 1500)
+	for i := 0; i+1 < len(ops); i += 2 {
+		a, b := ops[i], ops[i+1]
+		checkDiff(t, "MulFloat64", a, b, m.MulFloat64(a, b), a*b)
+		checkDiff(t, "MulFloat64", a, 1, m.MulFloat64(a, 1), a*1) // identity operand
+	}
+}
+
+func TestDifferentialDivFloat64(t *testing.T) {
+	exact := &Divider{}
+	table := &Divider{QSel: NewQST()}
+	for name, d := range map[string]*Divider{"exact": exact, "qst": table} {
+		for _, a := range edgeFloats {
+			for _, b := range edgeFloats {
+				checkDiff(t, "DivFloat64/"+name, a, b, d.DivFloat64(a, b), a/b)
+			}
+			// The paper's trivial operands: x/1 must be exact, x/x exactly 1.
+			checkDiff(t, "DivFloat64/"+name, a, 1, d.DivFloat64(a, 1), a/1)
+			checkDiff(t, "DivFloat64/"+name, a, a, d.DivFloat64(a, a), a/a)
+		}
+		ops := randomFloats(13, 1200)
+		for i := 0; i+1 < len(ops); i += 2 {
+			a, b := ops[i], ops[i+1]
+			checkDiff(t, "DivFloat64/"+name, a, b, d.DivFloat64(a, b), a/b)
+		}
+	}
+}
+
+func TestDifferentialSqrtFloat64(t *testing.T) {
+	var sq Sqrter
+	for _, a := range edgeFloats {
+		checkDiff(t, "SqrtFloat64", a, 0, sq.SqrtFloat64(a), math.Sqrt(a))
+	}
+	// sqrt(1) is the unary trivial case; negative operands must yield NaN.
+	checkDiff(t, "SqrtFloat64", 1, 0, sq.SqrtFloat64(1), 1)
+	checkDiff(t, "SqrtFloat64", -4, 0, sq.SqrtFloat64(-4), math.Sqrt(-4))
+	for _, a := range randomFloats(17, 2000) {
+		checkDiff(t, "SqrtFloat64", a, 0, sq.SqrtFloat64(a), math.Sqrt(a))
+	}
+}
+
+func TestDifferentialMulInt64(t *testing.T) {
+	var m Multiplier
+	edges := []int64{0, 1, -1, 2, -2, 3, -3,
+		math.MaxInt64, math.MinInt64, math.MaxInt64 - 1, math.MinInt64 + 1,
+		1 << 31, -(1 << 31), 1 << 62, 0x5555555555555555, -0x5555555555555555}
+	rng := rand.New(rand.NewSource(19))
+	vals := append([]int64(nil), edges...)
+	for i := 0; i < 400; i++ {
+		vals = append(vals, int64(rng.Uint64()))
+	}
+	check := func(a, b int64) {
+		hi, lo := m.MulInt64(a, b)
+		// Reference full signed product via arbitrary precision.
+		got := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 64)
+		got.Add(got, new(big.Int).SetUint64(lo))
+		if hi>>63 == 1 {
+			got.Sub(got, new(big.Int).Lsh(big.NewInt(1), 128))
+		}
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("MulInt64(%d, %d) = %s, want %s", a, b, got, want)
+		}
+	}
+	for _, a := range edges {
+		for _, b := range edges {
+			check(a, b)
+		}
+	}
+	for i := 0; i+1 < len(vals); i += 2 {
+		check(vals[i], vals[i+1])
+	}
+}

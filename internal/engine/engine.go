@@ -1,0 +1,295 @@
+// Package engine is the parallel experiment engine: it runs the paper's
+// evaluation matrix — every (workload × table-configuration) cell of
+// Tables 5–13 and Figures 2–4 — across a bounded worker pool instead of
+// serially, and it captures each workload's operand trace once (in the
+// binary trace format of internal/trace) so N memo configurations replay
+// one recorded stream rather than re-executing the kernel N times.
+//
+// Two properties make the engine safe to put under the experiment
+// drivers:
+//
+//   - Determinism. A replayed trace is byte-for-byte the stream the
+//     workload emits, so every MEMO-TABLE sees the identical operand
+//     sequence it would see in a serial run, and each cell owns its
+//     tables outright. Results are written into per-cell slots, so
+//     aggregation order is fixed by cell index, not completion order —
+//     paper-layout output is bit-identical at any worker count.
+//   - Bounded resources. The pool never exceeds its worker count, and
+//     the trace cache never exceeds its byte budget: a capture that
+//     would overflow the budget is simply not stored, and later
+//     requests for it re-run the workload directly.
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memotable/internal/trace"
+)
+
+// DefaultCacheBytes bounds the in-memory trace cache of engines built by
+// New: 256 MB of encoded events, enough for every quick-scale trace of
+// the evaluation while keeping full-scale sweeps from exhausting memory.
+const DefaultCacheBytes = 256 << 20
+
+// CaptureFunc runs a workload, emitting its operand trace into the sink.
+// It must be deterministic: the engine assumes replaying a stored capture
+// is indistinguishable from running the workload again.
+//
+// Captures are mutually exclusive process-wide: the engine runs every
+// CaptureFunc under one global lock, so a capture may reset and consume
+// process-global simulation state (the synthetic image address space,
+// for instance) and still produce a trace that is a pure function of the
+// workload, independent of which other captures run concurrently.
+type CaptureFunc func(trace.Sink)
+
+// captureMu serializes workload executions across all engines. Replays —
+// the bulk of the evaluation's cells — never take it.
+var captureMu sync.Mutex
+
+// Engine is a bounded worker pool with an attached trace cache. The zero
+// value is not usable; construct with New or Serial.
+type Engine struct {
+	workers    int
+	cacheLimit int64
+
+	mu     sync.Mutex
+	used   int64
+	traces map[string]*traceEntry
+
+	// Counters (atomic; exposed for benchmarks and reports).
+	captures atomic.Uint64 // workload executions performed
+	replays  atomic.Uint64 // cache replays served
+}
+
+// traceEntry is one cached capture. Its fields are written exactly once,
+// inside once.Do, and are immutable afterwards.
+type traceEntry struct {
+	once   sync.Once
+	data   []byte // encoded trace; nil when the capture declined to store
+	events uint64
+	cached bool
+}
+
+// New builds an engine with the given worker count (<= 0 selects
+// GOMAXPROCS) and the default trace-cache budget.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers:    workers,
+		cacheLimit: DefaultCacheBytes,
+		traces:     make(map[string]*traceEntry),
+	}
+}
+
+// Serial builds a single-worker engine: cells execute in index order on
+// the calling goroutine, the reference serial path the golden tests pin.
+func Serial() *Engine { return New(1) }
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// SetCacheLimit adjusts the trace-cache byte budget. A non-positive
+// limit disables storage entirely (every Replay re-runs its workload).
+func (e *Engine) SetCacheLimit(n int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cacheLimit = n
+}
+
+// CachedTraces returns the number of stored captures.
+func (e *Engine) CachedTraces() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, ent := range e.traces {
+		if ent.cached {
+			n++
+		}
+	}
+	return n
+}
+
+// CachedBytes returns the encoded size of all stored captures.
+func (e *Engine) CachedBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.used
+}
+
+// Captures returns how many workload executions the engine has performed
+// (cache misses plus declined-to-store re-runs).
+func (e *Engine) Captures() uint64 { return e.captures.Load() }
+
+// Replays returns how many cache replays the engine has served.
+func (e *Engine) Replays() uint64 { return e.replays.Load() }
+
+// Map runs cell(0..n-1) across the worker pool and returns when all
+// cells have finished. Cells must be independent: each writes only its
+// own result slot, which is what keeps aggregation order-independent. A
+// panic in any cell is re-raised on the caller after the pool drains.
+func (e *Engine) Map(n int, cell func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			cell(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// entry returns the cache slot for key, creating it if needed.
+func (e *Engine) entry(key string) *traceEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.traces[key]
+	if !ok {
+		ent = &traceEntry{}
+		e.traces[key] = ent
+	}
+	return ent
+}
+
+// Warm ensures key's trace is captured and stored (budget permitting)
+// without replaying it anywhere. Drivers call it over their workload
+// list up front so the replay fan-out never stalls a cell on a capture
+// (captures themselves serialize on the global capture lock).
+func (e *Engine) Warm(key string, capture CaptureFunc) {
+	ent := e.entry(key)
+	ent.once.Do(func() { e.store(ent, capture) })
+}
+
+// Replay feeds key's operand stream into sink and returns the event
+// count. The first request captures the workload (storing the encoding
+// when the budget allows); concurrent requests for the same key wait for
+// that single capture. When the capture was declined for space, the
+// workload simply runs again, streaming straight into sink.
+func (e *Engine) Replay(key string, capture CaptureFunc, sink trace.Sink) (uint64, error) {
+	ent := e.entry(key)
+	ent.once.Do(func() { e.store(ent, capture) })
+	if !ent.cached {
+		e.captures.Add(1)
+		cs := &countingSink{next: sink}
+		captureMu.Lock()
+		capture(cs)
+		captureMu.Unlock()
+		return cs.n, nil
+	}
+	e.replays.Add(1)
+	r, err := trace.NewReader(bytes.NewReader(ent.data))
+	if err != nil {
+		return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
+	}
+	n, err := r.Replay(sink)
+	if err != nil {
+		return n, fmt.Errorf("engine: cached trace %q: %w", key, err)
+	}
+	if n != ent.events {
+		return n, fmt.Errorf("engine: cached trace %q replayed %d of %d events", key, n, ent.events)
+	}
+	return n, nil
+}
+
+// store performs the one capture for an entry, encoding into memory and
+// keeping the bytes only if they fit the remaining budget.
+func (e *Engine) store(ent *traceEntry, capture CaptureFunc) {
+	e.captures.Add(1)
+	e.mu.Lock()
+	limit := e.cacheLimit - e.used
+	e.mu.Unlock()
+	if limit <= 0 {
+		return // budget exhausted: don't even buffer
+	}
+	var buf bytes.Buffer
+	lw := &limitWriter{w: &buf, remaining: limit}
+	tw, err := trace.NewWriter(lw)
+	if err != nil {
+		return
+	}
+	captureMu.Lock()
+	capture(tw)
+	captureMu.Unlock()
+	if err := tw.Flush(); err != nil {
+		return // overflowed the budget mid-capture: decline to store
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.used+int64(buf.Len()) > e.cacheLimit {
+		return
+	}
+	e.used += int64(buf.Len())
+	ent.data = buf.Bytes()
+	ent.events = tw.Count()
+	ent.cached = true
+}
+
+// errCacheFull aborts an over-budget capture's buffering.
+var errCacheFull = errors.New("engine: trace cache budget exceeded")
+
+// limitWriter forwards to w until the byte budget is exhausted, then
+// fails, which bufio surfaces at Flush so the capture is declined.
+type limitWriter struct {
+	w         io.Writer
+	remaining int64
+}
+
+func (l *limitWriter) Write(p []byte) (int, error) {
+	if int64(len(p)) > l.remaining {
+		l.remaining = 0
+		return 0, errCacheFull
+	}
+	l.remaining -= int64(len(p))
+	return l.w.Write(p)
+}
+
+// countingSink counts events on their way to the wrapped sink.
+type countingSink struct {
+	next trace.Sink
+	n    uint64
+}
+
+// Emit implements trace.Sink.
+func (c *countingSink) Emit(ev trace.Event) {
+	c.n++
+	c.next.Emit(ev)
+}

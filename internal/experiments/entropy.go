@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"memotable/internal/engine"
 	"memotable/internal/fitting"
 	"memotable/internal/imaging"
 	"memotable/internal/isa"
@@ -47,7 +48,7 @@ type Fig2Point struct {
 // Table8 runs every Table 7 application over every catalog image it
 // accepts and reports per-image mean hit ratios alongside the image's
 // measured entropies.
-func Table8(scale Scale) *Table8Result {
+func Table8(eng *engine.Engine, scale Scale) *Table8Result {
 	res := &Table8Result{}
 	apps := make([]workloads.App, 0, len(mmTable7Apps))
 	for _, name := range mmTable7Apps {
@@ -57,8 +58,20 @@ func Table8(scale Scale) *Table8Result {
 		}
 		apps = append(apps, a)
 	}
-	for _, in := range imaging.Catalog() {
-		img := in.Image.Decimate(scale.maxDim())
+	catalog := imaging.Catalog()
+	rows := make([]Table8Row, len(catalog))
+	points := make([][]Fig2Point, len(catalog))
+	// Decimate the entropy-measurement copies before the fan-out: image
+	// allocation inside a cell would race the synthetic address space
+	// against captures running in other cells (captures rewind it to make
+	// traces reproducible — see captureOf).
+	entImgs := make([]*imaging.Image, len(catalog))
+	for ci, in := range catalog {
+		entImgs[ci] = in.Image.Decimate(scale.maxDim())
+	}
+	eng.Map(len(catalog), func(ci int) {
+		in := catalog[ci]
+		img := entImgs[ci]
 		var eFull, e16, e8 float64
 		if in.Image.Kind == imaging.Float {
 			eFull, e16, e8 = math.NaN(), math.NaN(), math.NaN()
@@ -70,18 +83,19 @@ func Table8(scale Scale) *Table8Result {
 			if !accepts(app, in.Name) {
 				continue
 			}
-			ts, _ := Measure(ImageRun(app.Run, img), memo.Paper32x4(), memo.NonTrivialOnly)
+			ts := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
+			replayRun(eng, appKey(app.Name, in.Name, scale), appRunner(app, in.Name, scale), ts)
 			im, fm, fd := ts.HitRatio(isa.OpIMul), ts.HitRatio(isa.OpFMul), ts.HitRatio(isa.OpFDiv)
 			imuls = append(imuls, im)
 			fmuls = append(fmuls, fm)
 			fdivs = append(fdivs, fd)
-			res.Points = append(res.Points, Fig2Point{
+			points[ci] = append(points[ci], Fig2Point{
 				App: app.Name, Image: in.Name,
 				EntropyFull: eFull, Entropy8: e8,
 				FMulRatio: fm, FDivRatio: fd,
 			})
 		}
-		res.Rows = append(res.Rows, Table8Row{
+		rows[ci] = Table8Row{
 			Name:        in.Name,
 			Size:        fmt.Sprintf("%dx%d", in.Image.W, in.Image.H),
 			Kind:        in.Image.Kind.String(),
@@ -90,7 +104,11 @@ func Table8(scale Scale) *Table8Result {
 			IMul: meanIgnoringNaN(imuls),
 			FMul: meanIgnoringNaN(fmuls),
 			FDiv: meanIgnoringNaN(fdivs),
-		})
+		}
+	})
+	res.Rows = rows
+	for _, ps := range points {
+		res.Points = append(res.Points, ps...)
 	}
 	return res
 }
@@ -139,8 +157,8 @@ type Figure2Result struct {
 
 // Figure2 computes the hit-ratio/entropy relation. The paper observes
 // roughly a 5% hit-ratio decrease per added bit of entropy.
-func Figure2(scale Scale) *Figure2Result {
-	t8 := Table8(scale)
+func Figure2(eng *engine.Engine, scale Scale) *Figure2Result {
+	t8 := Table8(eng, scale)
 	res := &Figure2Result{Points: t8.Points}
 	panels := []struct {
 		label string

@@ -5,11 +5,17 @@ import (
 	"strings"
 	"testing"
 
+	"memotable/internal/engine"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/probe"
 	"memotable/internal/trace"
 )
+
+// tEng is shared across the driver tests: results are bit-identical at
+// any worker count, replaying it here both exercises the pool under
+// -race and shares the trace cache between tests.
+var tEng = engine.New(4)
 
 func TestTableSetRoutesMemoizableOps(t *testing.T) {
 	ts := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
@@ -71,11 +77,11 @@ func TestTable1Static(t *testing.T) {
 }
 
 func TestTables5And6SuiteShape(t *testing.T) {
-	t5 := Table5()
+	t5 := Table5(tEng)
 	if len(t5.Rows) != 9 {
 		t.Fatalf("Table 5 has %d rows", len(t5.Rows))
 	}
-	t6 := Table6()
+	t6 := Table6(tEng)
 	if len(t6.Rows) != 10 {
 		t.Fatalf("Table 6 has %d rows", len(t6.Rows))
 	}
@@ -106,7 +112,7 @@ func TestTables5And6SuiteShape(t *testing.T) {
 }
 
 func TestTable7MMShape(t *testing.T) {
-	t7 := Table7(Tiny)
+	t7 := Table7(tEng, Tiny)
 	if len(t7.Rows) != 17 {
 		t.Fatalf("Table 7 has %d rows", len(t7.Rows))
 	}
@@ -138,8 +144,8 @@ func TestTable7MMShape(t *testing.T) {
 }
 
 func TestMMBeatsScientificAt32(t *testing.T) {
-	mm := Table7(Tiny).Average()
-	sci := Table5().Average()
+	mm := Table7(tEng, Tiny).Average()
+	sci := Table5(tEng).Average()
 	if mm.Small[isa.OpFMul] <= sci.Small[isa.OpFMul] {
 		t.Errorf("MM fmul %.2f not above Perfect %.2f",
 			mm.Small[isa.OpFMul], sci.Small[isa.OpFMul])
@@ -151,7 +157,7 @@ func TestMMBeatsScientificAt32(t *testing.T) {
 }
 
 func TestTable8AndFigure2(t *testing.T) {
-	fig := Figure2(Tiny)
+	fig := Figure2(tEng, Tiny)
 	if len(fig.Points) == 0 {
 		t.Fatal("no Figure 2 points")
 	}
@@ -174,7 +180,7 @@ func TestTable8AndFigure2(t *testing.T) {
 }
 
 func TestTable9PolicyOrdering(t *testing.T) {
-	t9 := Table9(Tiny)
+	t9 := Table9(tEng, Tiny)
 	if len(t9.Rows) != 8 {
 		t.Fatalf("Table 9 rows = %d", len(t9.Rows))
 	}
@@ -202,7 +208,7 @@ func TestTable9PolicyOrdering(t *testing.T) {
 }
 
 func TestTable10MantissaRaisesRatios(t *testing.T) {
-	t10 := Table10(Tiny)
+	t10 := Table10(tEng, Tiny)
 	// Mantissa-only tags can only merge entries, so the suite averages
 	// must not drop (the paper: "raises the hit ratios, albeit not by
 	// much").
@@ -221,7 +227,7 @@ func TestTable10MantissaRaisesRatios(t *testing.T) {
 }
 
 func TestFigure3MonotoneAndFlattening(t *testing.T) {
-	fig := Figure3(Tiny)
+	fig := Figure3(tEng, Tiny)
 	if len(fig.Points) != len(Figure3Sizes) {
 		t.Fatalf("points = %d", len(fig.Points))
 	}
@@ -244,7 +250,7 @@ func TestFigure3MonotoneAndFlattening(t *testing.T) {
 }
 
 func TestFigure4AssociativityShape(t *testing.T) {
-	fig := Figure4(Tiny)
+	fig := Figure4(tEng, Tiny)
 	if len(fig.Points) != 4 {
 		t.Fatalf("points = %d", len(fig.Points))
 	}
@@ -263,9 +269,9 @@ func TestFigure4AssociativityShape(t *testing.T) {
 }
 
 func TestSpeedupTables(t *testing.T) {
-	t11 := Table11(Tiny)
-	t12 := Table12(Tiny)
-	t13 := Table13(Tiny)
+	t11 := Table11(tEng, Tiny)
+	t12 := Table12(tEng, Tiny)
+	t13 := Table13(tEng, Tiny)
 	for _, tbl := range []*SpeedupResult{t11, t12, t13} {
 		if len(tbl.Rows) != 9 {
 			t.Fatalf("%s: %d rows", tbl.Title, len(tbl.Rows))
@@ -315,7 +321,7 @@ func TestAmdahlConsistency(t *testing.T) {
 	// The measured whole-application speedup must equal Amdahl's
 	// prediction from the measured FE and SE (they are defined from the
 	// same cycle accounting).
-	t11 := Table11(Tiny)
+	t11 := Table11(tEng, Tiny)
 	for _, r := range t11.Rows {
 		for _, c := range []SpeedupCell{r.Fast, r.Slow} {
 			if c.FE == 0 {
@@ -329,19 +335,38 @@ func TestAmdahlConsistency(t *testing.T) {
 	}
 }
 
-func TestProbeForFansOut(t *testing.T) {
+func TestReplayRunFansOut(t *testing.T) {
 	a := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
 	b := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
-	p := probeFor(a, b)
-	p.FMul(2, 3)
+	eng := engine.Serial()
+	run := func(p *probe.Probe) { p.FMul(2, 3) }
+	replayRun(eng, "test|fanout", run, a, b)
 	if a.Unit(isa.OpFMul).TotalOps() != 1 || b.Unit(isa.OpFMul).TotalOps() != 1 {
-		t.Fatal("probeFor did not fan out")
+		t.Fatal("replayRun did not fan out")
+	}
+	// The second request must be served from the trace cache, not by a
+	// second workload execution.
+	replayRun(eng, "test|fanout", run, a)
+	if eng.Captures() != 1 || eng.Replays() != 2 {
+		t.Fatalf("captures=%d replays=%d, want 1 and 2", eng.Captures(), eng.Replays())
 	}
 	var _ trace.Sink = a // TableSet is a Sink
 }
 
+func TestParallelMatchesSerial(t *testing.T) {
+	// The engine's whole contract: rendered output is bit-identical at any
+	// worker count. (The root golden tests pin every experiment; this is
+	// the in-package witness on one sweep.)
+	serial := Figure4(engine.Serial(), Tiny).Render()
+	parallel := Figure4(engine.New(8), Tiny).Render()
+	if serial != parallel {
+		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
 func TestExtensionSqrt(t *testing.T) {
-	res := ExtensionSqrt(Tiny)
+	res := ExtensionSqrt(tEng, Tiny)
 	if len(res.Rows) != len(SqrtApps) {
 		t.Fatalf("%d rows, want %d", len(res.Rows), len(SqrtApps))
 	}
@@ -361,7 +386,7 @@ func TestExtensionSqrt(t *testing.T) {
 }
 
 func TestExtensionRecip(t *testing.T) {
-	res := ExtensionRecip(Tiny)
+	res := ExtensionRecip(tEng, Tiny)
 	if len(res.Rows) == 0 {
 		t.Fatal("no comparison rows")
 	}
@@ -386,7 +411,7 @@ func TestExtensionRecip(t *testing.T) {
 }
 
 func TestReuseCompare(t *testing.T) {
-	r := ReuseCompare(Tiny)
+	r := ReuseCompare(tEng, Tiny)
 	// The MEMO-TABLE is address-blind: unrolling must not reduce its hit
 	// ratio.
 	if r.UnrolledMemo < r.RolledMemo-0.02 {

@@ -5,9 +5,9 @@ import (
 	"math"
 
 	"memotable/internal/cpu"
+	"memotable/internal/engine"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
-	"memotable/internal/probe"
 	"memotable/internal/report"
 	"memotable/internal/trace"
 	"memotable/internal/workloads"
@@ -39,10 +39,11 @@ type SqrtResult struct {
 // ExtensionSqrt evaluates MEMO-TABLEs on the square-root unit (latency 17
 // cycles, a digit-recurrence unit's cost at 1 bit/cycle), the paper's
 // first future-work item, with the Table 11 methodology.
-func ExtensionSqrt(scale Scale) *SqrtResult {
-	res := &SqrtResult{}
+func ExtensionSqrt(eng *engine.Engine, scale Scale) *SqrtResult {
+	res := &SqrtResult{Rows: make([]SqrtRow, len(SqrtApps))}
 	proc := isa.FastFP()
-	for _, name := range SqrtApps {
+	eng.Map(len(SqrtApps), func(i int) {
+		name := SqrtApps[i]
 		app, err := workloads.Lookup(name)
 		if err != nil {
 			panic(err)
@@ -51,14 +52,13 @@ func ExtensionSqrt(scale Scale) *SqrtResult {
 		enh := cpu.New(proc,
 			memo.NewUnit(memo.New(isa.OpFSqrt, memo.Paper32x4()), memo.NonTrivialOnly, nil))
 		for _, inName := range app.Inputs {
-			in := inputFor(inName, scale)
-			app.Run(probe.New(base, enh), in)
+			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale), base, enh)
 		}
 		c := cellFrom(base, enh, []isa.Op{isa.OpFSqrt})
-		res.Rows = append(res.Rows, SqrtRow{
+		res.Rows[i] = SqrtRow{
 			Name: name, HitRatio: c.HitRatio, FE: c.FE, SE: c.SE, Speedup: c.Speedup,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -119,13 +119,16 @@ func (s recipSink) Emit(ev trace.Event) {
 // ExtensionRecip compares the MEMO-TABLE against the Oberman/Flynn
 // reciprocal-cache baseline at identical geometry (32 entries, 4-way) on
 // the speedup-study applications.
-func ExtensionRecip(scale Scale) *RecipResult {
+func ExtensionRecip(eng *engine.Engine, scale Scale) *RecipResult {
 	const (
 		divLatency = 13
 		mulLatency = 3
 	)
 	res := &RecipResult{}
-	for _, name := range SpeedupApps {
+	rows := make([]RecipRow, len(SpeedupApps))
+	kept := make([]bool, len(SpeedupApps))
+	eng.Map(len(SpeedupApps), func(i int) {
+		name := SpeedupApps[i]
 		app, err := workloads.Lookup(name)
 		if err != nil {
 			panic(err)
@@ -133,22 +136,28 @@ func ExtensionRecip(scale Scale) *RecipResult {
 		memoSet := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
 		rc := memo.NewRecipCache(memo.Paper32x4())
 		for _, inName := range app.Inputs {
-			in := inputFor(inName, scale)
-			app.Run(probe.New(memoSet, recipSink{rc}), in)
+			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale),
+				memoSet, recipSink{rc})
 		}
 		mSt := memoSet.Unit(isa.OpFDiv).Table().Stats()
 		rSt := rc.Stats()
 		if mSt.Lookups == 0 {
-			continue // application without divisions
+			return // application without divisions
 		}
-		res.Rows = append(res.Rows, RecipRow{
+		rows[i] = RecipRow{
 			Name:       name,
 			MemoHit:    mSt.HitRatio(),
 			RecipHit:   rSt.HitRatio(),
 			MemoSaved:  mSt.Hits * uint64(divLatency-1),
 			RecipSaved: rSt.Hits * uint64(divLatency-mulLatency),
 			Mismatches: rc.RoundingMismatch(),
-		})
+		}
+		kept[i] = true
+	})
+	for i, row := range rows {
+		if kept[i] {
+			res.Rows = append(res.Rows, row)
+		}
 	}
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"memotable/internal/engine"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/report"
@@ -35,7 +36,7 @@ type GeometryResult struct {
 var Figure3Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
 
 // Figure3 reproduces the hit ratio vs table size sweep (set size 4).
-func Figure3(scale Scale) *GeometryResult {
+func Figure3(eng *engine.Engine, scale Scale) *GeometryResult {
 	cfgs := make([]memo.Config, len(Figure3Sizes))
 	for i, n := range Figure3Sizes {
 		ways := 4
@@ -44,7 +45,7 @@ func Figure3(scale Scale) *GeometryResult {
 		}
 		cfgs[i] = memo.Config{Entries: n, Ways: ways}
 	}
-	res := sweep("Figure 3: hit ratio vs LUT size (assoc 4)", "entries", cfgs, scale)
+	res := sweep(eng, "Figure 3: hit ratio vs LUT size (assoc 4)", "entries", cfgs, scale)
 	for i := range res.Points {
 		res.Points[i].X = Figure3Sizes[i]
 	}
@@ -55,40 +56,56 @@ func Figure3(scale Scale) *GeometryResult {
 var Figure4Ways = []int{1, 2, 4, 8}
 
 // Figure4 reproduces the hit ratio vs associativity sweep (32 entries).
-func Figure4(scale Scale) *GeometryResult {
+func Figure4(eng *engine.Engine, scale Scale) *GeometryResult {
 	cfgs := make([]memo.Config, len(Figure4Ways))
 	for i, w := range Figure4Ways {
 		cfgs[i] = memo.Config{Entries: 32, Ways: w}
 	}
-	res := sweep("Figure 4: hit ratio vs associativity (32 entries)", "ways", cfgs, scale)
+	res := sweep(eng, "Figure 4: hit ratio vs associativity (32 entries)", "ways", cfgs, scale)
 	for i := range res.Points {
 		res.Points[i].X = Figure4Ways[i]
 	}
 	return res
 }
 
-// sweep measures the five sample applications across all configurations
-// in one pass per application-input.
-func sweep(title, xName string, cfgs []memo.Config, scale Scale) *GeometryResult {
-	// One TableSet per configuration, shared across apps and inputs (the
-	// paper's averages are across the applications at each size).
-	perApp := make([][]*TableSet, len(GeometryApps))
-	for a := range perApp {
-		perApp[a] = make([]*TableSet, len(cfgs))
-		for i, cfg := range cfgs {
-			perApp[a][i] = NewTableSet(cfg, memo.NonTrivialOnly)
-		}
+// sweep measures the five sample applications across all configurations:
+// each application's inputs are captured once across the pool, then every
+// (application × configuration) cell replays the recorded streams into
+// its own table set. One TableSet per (app, config), shared across that
+// app's inputs (the paper's averages are across the applications at each
+// size).
+func sweep(eng *engine.Engine, title, xName string, cfgs []memo.Config, scale Scale) *GeometryResult {
+	type src struct {
+		key string
+		run Runner
 	}
+	srcs := make([][]src, len(GeometryApps))
+	var flat []src
 	for a, name := range GeometryApps {
 		app, err := workloads.Lookup(name)
 		if err != nil {
 			panic(err)
 		}
 		for _, inName := range app.Inputs {
-			in := inputFor(inName, scale)
-			ImageRun(app.Run, in)(probeFor(perApp[a]...))
+			s := src{appKey(name, inName, scale), appRunner(app, inName, scale)}
+			srcs[a] = append(srcs[a], s)
+			flat = append(flat, s)
 		}
 	}
+	eng.Map(len(flat), func(i int) { eng.Warm(flat[i].key, captureOf(flat[i].run)) })
+
+	perApp := make([][]*TableSet, len(GeometryApps))
+	for a := range perApp {
+		perApp[a] = make([]*TableSet, len(cfgs))
+	}
+	eng.Map(len(GeometryApps)*len(cfgs), func(c int) {
+		a, i := c/len(cfgs), c%len(cfgs)
+		ts := NewTableSet(cfgs[i], memo.NonTrivialOnly)
+		for _, s := range srcs[a] {
+			replayRun(eng, s.key, s.run, ts)
+		}
+		perApp[a][i] = ts
+	})
 	res := &GeometryResult{Title: title, XName: xName}
 	for i := range cfgs {
 		var fmuls, fdivs []float64

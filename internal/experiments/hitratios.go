@@ -1,13 +1,12 @@
 package experiments
 
 import (
+	"memotable/internal/engine"
 	"memotable/internal/imaging"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
-	"memotable/internal/probe"
 	"memotable/internal/report"
 	"memotable/internal/scientific"
-	"memotable/internal/trace"
 	"memotable/internal/workloads"
 )
 
@@ -98,43 +97,46 @@ func (t *HitTable) Render() string {
 	return tab.String()
 }
 
-// suiteHitTable measures one list of runners against the paper's basic
-// 32/4 configuration and the infinite table.
-func suiteHitTable(title string, names []string, runs []Runner) *HitTable {
-	t := &HitTable{Title: title}
-	for i, run := range runs {
-		sets := MeasureMany(run, memo.NonTrivialOnly, memo.Paper32x4(), memo.Infinite())
+// suiteHitTable measures one list of kernels against the paper's basic
+// 32/4 configuration and the infinite table: one engine cell per kernel,
+// both table sets fed from a single trace replay.
+func suiteHitTable(eng *engine.Engine, title string, names []string, runs []Runner) *HitTable {
+	t := &HitTable{Title: title, Rows: make([]HitRow, len(runs))}
+	eng.Map(len(runs), func(i int) {
+		small := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
+		inf := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
+		replayRun(eng, kernelKey(names[i]), runs[i], small, inf)
 		row := HitRow{Name: names[i], Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
 		for _, op := range ratioOps {
-			row.Small[op] = sets[0].HitRatio(op)
-			row.Infinite[op] = sets[1].HitRatio(op)
+			row.Small[op] = small.HitRatio(op)
+			row.Infinite[op] = inf.HitRatio(op)
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		t.Rows[i] = row
+	})
 	return t
 }
 
 // Table5 reproduces "Hit ratios for the Perfect benchmarks" (32/4 vs
 // infinite, non-trivial operations only).
-func Table5() *HitTable {
+func Table5(eng *engine.Engine) *HitTable {
 	ks := scientific.Perfect()
 	names := make([]string, len(ks))
 	runs := make([]Runner, len(ks))
 	for i, k := range ks {
 		names[i], runs[i] = k.Name, k.Run
 	}
-	return suiteHitTable("Table 5: hit ratios, Perfect benchmarks", names, runs)
+	return suiteHitTable(eng, "Table 5: hit ratios, Perfect benchmarks", names, runs)
 }
 
 // Table6 reproduces "Hit ratios for the SPEC CFP95 benchmarks".
-func Table6() *HitTable {
+func Table6(eng *engine.Engine) *HitTable {
 	ks := scientific.SpecCFP95()
 	names := make([]string, len(ks))
 	runs := make([]Runner, len(ks))
 	for i, k := range ks {
 		names[i], runs[i] = k.Name, k.Run
 	}
-	return suiteHitTable("Table 6: hit ratios, SPEC CFP95 benchmarks", names, runs)
+	return suiteHitTable(eng, "Table 6: hit ratios, SPEC CFP95 benchmarks", names, runs)
 }
 
 // mmTable7Apps lists the seventeen applications of Table 7 in paper
@@ -149,9 +151,13 @@ var mmTable7Apps = []string{
 // Table7 reproduces "Hit ratios for Multi-Media applications". Each
 // application runs over its default inputs (the paper used 8–14 per
 // application) and reports per-op ratios aggregated over all inputs.
-func Table7(scale Scale) *HitTable {
-	t := &HitTable{Title: "Table 7: hit ratios, Multi-Media applications"}
-	for _, name := range mmTable7Apps {
+func Table7(eng *engine.Engine, scale Scale) *HitTable {
+	t := &HitTable{
+		Title: "Table 7: hit ratios, Multi-Media applications",
+		Rows:  make([]HitRow, len(mmTable7Apps)),
+	}
+	eng.Map(len(mmTable7Apps), func(i int) {
+		name := mmTable7Apps[i]
 		app, err := workloads.Lookup(name)
 		if err != nil {
 			panic(err)
@@ -159,17 +165,15 @@ func Table7(scale Scale) *HitTable {
 		small := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
 		inf := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
 		for _, inName := range app.Inputs {
-			in := inputFor(inName, scale)
-			run := ImageRun(app.Run, in)
-			run(probeFor(small, inf))
+			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale), small, inf)
 		}
 		row := HitRow{Name: name, Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
 		for _, op := range ratioOps {
 			row.Small[op] = small.HitRatio(op)
 			row.Infinite[op] = inf.HitRatio(op)
 		}
-		t.Rows = append(t.Rows, row)
-	}
+		t.Rows[i] = row
+	})
 	return t
 }
 
@@ -182,8 +186,11 @@ type Table10Result struct {
 	MMFull, MMMant           map[isa.Op]float64
 }
 
-// Table10 reproduces the mantissa-only comparison.
-func Table10(scale Scale) *Table10Result {
+// Table10 reproduces the mantissa-only comparison. The suite aggregation
+// is stateful — every workload feeds one table pair in order — so each
+// suite is a single engine cell; the per-workload trace captures are the
+// parallel part, warmed across the pool first.
+func Table10(eng *engine.Engine, scale Scale) *Table10Result {
 	res := &Table10Result{
 		PerfectFull: map[isa.Op]float64{}, PerfectMant: map[isa.Op]float64{},
 		MMFull: map[isa.Op]float64{}, MMMant: map[isa.Op]float64{},
@@ -191,11 +198,26 @@ func Table10(scale Scale) *Table10Result {
 	mantCfg := memo.Paper32x4()
 	mantCfg.MantissaOnly = true
 
-	measure := func(runs []Runner) (full, mant map[isa.Op]float64) {
+	type src struct {
+		key string
+		run Runner
+	}
+	var perf, mm []src
+	for _, k := range scientific.Perfect() {
+		perf = append(perf, src{kernelKey(k.Name), k.Run})
+	}
+	for _, name := range mmTable7Apps {
+		app, _ := workloads.Lookup(name)
+		mm = append(mm, src{appKey(name, app.Inputs[0], scale), appRunner(app, app.Inputs[0], scale)})
+	}
+	all := append(append([]src(nil), perf...), mm...)
+	eng.Map(len(all), func(i int) { eng.Warm(all[i].key, captureOf(all[i].run)) })
+
+	measure := func(srcs []src) (full, mant map[isa.Op]float64) {
 		fullSet := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
 		mantSet := NewTableSet(mantCfg, memo.NonTrivialOnly)
-		for _, run := range runs {
-			run(probeFor(fullSet, mantSet))
+		for _, s := range srcs {
+			replayRun(eng, s.key, s.run, fullSet, mantSet)
 		}
 		full = map[isa.Op]float64{}
 		mant = map[isa.Op]float64{}
@@ -206,19 +228,14 @@ func Table10(scale Scale) *Table10Result {
 		return full, mant
 	}
 
-	var perfRuns []Runner
-	for _, k := range scientific.Perfect() {
-		perfRuns = append(perfRuns, k.Run)
-	}
-	res.PerfectFull, res.PerfectMant = measure(perfRuns)
-
-	var mmRuns []Runner
-	for _, name := range mmTable7Apps {
-		app, _ := workloads.Lookup(name)
-		in := inputFor(app.Inputs[0], scale)
-		mmRuns = append(mmRuns, ImageRun(app.Run, in))
-	}
-	res.MMFull, res.MMMant = measure(mmRuns)
+	suites := [][]src{perf, mm}
+	var outs [2][2]map[isa.Op]float64
+	eng.Map(len(suites), func(i int) {
+		f, m := measure(suites[i])
+		outs[i] = [2]map[isa.Op]float64{f, m}
+	})
+	res.PerfectFull, res.PerfectMant = outs[0][0], outs[0][1]
+	res.MMFull, res.MMMant = outs[1][0], outs[1][1]
 	return res
 }
 
@@ -233,13 +250,4 @@ func (r *Table10Result) Render() string {
 		report.Ratio(r.MMFull[isa.OpFMul]), report.Ratio(r.MMMant[isa.OpFMul]),
 		report.Ratio(r.MMFull[isa.OpFDiv]), report.Ratio(r.MMMant[isa.OpFDiv]))
 	return tab.String()
-}
-
-// probeFor builds a probe feeding the given table sets.
-func probeFor(sets ...*TableSet) *probe.Probe {
-	sinks := make([]trace.Sink, len(sets))
-	for i, s := range sets {
-		sinks[i] = s
-	}
-	return probe.New(sinks...)
 }

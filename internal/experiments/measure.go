@@ -2,16 +2,27 @@
 // paper's evaluation (§3), plus the shared machinery that runs a workload
 // once and measures every attached MEMO-TABLE. See DESIGN.md for the
 // experiment index.
+//
+// Every driver runs on an engine.Engine: the evaluation matrix is
+// embarrassingly parallel — each (workload × configuration) cell is
+// independent — so drivers fan their cells across the engine's worker
+// pool and replay each workload's once-captured operand trace instead of
+// re-executing the kernel per configuration. Results land in per-cell
+// slots, so rendered output is bit-identical at any worker count;
+// engine.Serial() gives the reference single-threaded path.
 package experiments
 
 import (
+	"fmt"
 	"math"
 
+	"memotable/internal/engine"
 	"memotable/internal/imaging"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/probe"
 	"memotable/internal/trace"
+	"memotable/internal/workloads"
 )
 
 // MemoOps are the classes given MEMO-TABLEs in the paper's simulated
@@ -88,6 +99,54 @@ func MeasureMany(run Runner, policy memo.TrivialPolicy, cfgs ...memo.Config) []*
 	}
 	run(probe.New(trace.Multi(sinks)))
 	return sets
+}
+
+// kernelKey names a scientific kernel's trace in the engine cache.
+func kernelKey(name string) string { return "sci|" + name }
+
+// appKey names an MM application run's trace in the engine cache. The
+// decimation bound participates so different scales never share bytes.
+func appKey(app, input string, scale Scale) string {
+	return fmt.Sprintf("mm|%s|%s|%d", app, input, scale.maxDim())
+}
+
+// captureOf adapts a Runner to the engine's capture interface: the
+// workload executes against a probe whose only sink is the recorder.
+// The engine runs captures one at a time under a global lock, which lets
+// each capture rewind the synthetic image address space first — the
+// addresses a workload emits (and hence its cached trace) are then a
+// pure function of the workload, whatever else the process ran before.
+func captureOf(run Runner) engine.CaptureFunc {
+	return func(s trace.Sink) {
+		// Build the shared input catalog before rewinding so its one-time
+		// allocations never land inside a capture's address window —
+		// otherwise the first capture to touch an image would see its own
+		// allocations shifted relative to every later capture.
+		imaging.Catalog()
+		imaging.ResetBase()
+		run(probe.New(s))
+	}
+}
+
+// appRunner curries an MM application with a named input, deferring the
+// image load/decimate to capture time so cache hits skip it entirely.
+func appRunner(app workloads.App, input string, scale Scale) Runner {
+	return func(p *probe.Probe) { app.Run(p, inputFor(input, scale)) }
+}
+
+// replayRun streams the workload's trace — captured at most once per
+// engine — into the given sinks. Capture failures are programming errors
+// (an engine-cached trace is produced by our own Writer), so they panic.
+func replayRun(eng *engine.Engine, key string, run Runner, sinks ...trace.Sink) {
+	var sink trace.Sink
+	if len(sinks) == 1 {
+		sink = sinks[0]
+	} else {
+		sink = trace.Multi(sinks)
+	}
+	if _, err := eng.Replay(key, captureOf(run), sink); err != nil {
+		panic(err)
+	}
 }
 
 // meanIgnoringNaN averages the defined values; NaN entries ('-') are

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"memotable/internal/engine"
 	"memotable/internal/imaging"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
@@ -29,12 +30,20 @@ type ReuseComparison struct {
 	RolledMemo, UnrolledMemo     float64
 }
 
-// ReuseCompare runs the comparison on one catalog input.
-func ReuseCompare(scale Scale) *ReuseComparison {
+// ReuseCompare runs the comparison on one catalog input, one engine cell
+// per compilation. (The PC-keyed streams are synthesized, not traced, so
+// there is nothing for the trace cache here — only the fan-out.)
+func ReuseCompare(eng *engine.Engine, scale Scale) *ReuseComparison {
 	img := imaging.Find("airport1").Image.Decimate(scale.maxDim())
 	res := &ReuseComparison{}
-	res.RolledRB, res.RolledRBOnly, res.RolledMemo = runReuseStream(img, 1)
-	res.UnrolledRB, res.UnrolledRBOnly, res.UnrolledMemo = runReuseStream(img, 8)
+	unrolls := []int{1, 8}
+	outs := make([][3]float64, len(unrolls))
+	eng.Map(len(unrolls), func(i int) {
+		rb, rbOnly, memoHit := runReuseStream(img, unrolls[i])
+		outs[i] = [3]float64{rb, rbOnly, memoHit}
+	})
+	res.RolledRB, res.RolledRBOnly, res.RolledMemo = outs[0][0], outs[0][1], outs[0][2]
+	res.UnrolledRB, res.UnrolledRBOnly, res.UnrolledMemo = outs[1][0], outs[1][1], outs[1][2]
 	return res
 }
 

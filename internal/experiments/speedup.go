@@ -5,9 +5,9 @@ import (
 	"math"
 
 	"memotable/internal/cpu"
+	"memotable/internal/engine"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
-	"memotable/internal/probe"
 	"memotable/internal/report"
 	"memotable/internal/workloads"
 )
@@ -49,9 +49,9 @@ type SpeedupResult struct {
 
 // Table11 reproduces the fdiv-memoization speedups with 13- and 39-cycle
 // dividers.
-func Table11(scale Scale) *SpeedupResult {
+func Table11(eng *engine.Engine, scale Scale) *SpeedupResult {
 	base := isa.FastFP()
-	return speedupStudy(
+	return speedupStudy(eng,
 		"Table 11: speedup, fp division memoized",
 		"13 cycles", "39 cycles",
 		[]isa.Op{isa.OpFDiv},
@@ -60,9 +60,9 @@ func Table11(scale Scale) *SpeedupResult {
 
 // Table12 reproduces the fmul-memoization speedups with 3- and 5-cycle
 // multipliers.
-func Table12(scale Scale) *SpeedupResult {
+func Table12(eng *engine.Engine, scale Scale) *SpeedupResult {
 	base := isa.FastFP()
-	return speedupStudy(
+	return speedupStudy(eng,
 		"Table 12: speedup, fp multiplication memoized",
 		"3 cycles", "5 cycles",
 		[]isa.Op{isa.OpFMul},
@@ -71,9 +71,9 @@ func Table12(scale Scale) *SpeedupResult {
 
 // Table13 reproduces the combined fmul+fdiv speedups on the 3/13- and
 // 5/39-cycle machines.
-func Table13(scale Scale) *SpeedupResult {
+func Table13(eng *engine.Engine, scale Scale) *SpeedupResult {
 	base := isa.FastFP()
-	return speedupStudy(
+	return speedupStudy(eng,
 		"Table 13: speedup, fp multiplication and division memoized",
 		"3/13 cycles", "5/39 cycles",
 		[]isa.Op{isa.OpFMul, isa.OpFDiv},
@@ -81,14 +81,17 @@ func Table13(scale Scale) *SpeedupResult {
 }
 
 // speedupStudy runs each application over its inputs on four machines in
-// one pass: baseline and memo-enhanced, at fast and slow FP latencies.
-func speedupStudy(title, fastLabel, slowLabel string, ops []isa.Op,
+// one trace pass: baseline and memo-enhanced, at fast and slow FP
+// latencies. Each application is one engine cell.
+func speedupStudy(eng *engine.Engine, title, fastLabel, slowLabel string, ops []isa.Op,
 	fast, slow isa.Processor, scale Scale) *SpeedupResult {
 
 	res := &SpeedupResult{
 		Title: title, FastLabel: fastLabel, SlowLabel: slowLabel, Ops: ops,
+		Rows: make([]SpeedupRow, len(SpeedupApps)),
 	}
-	for _, name := range SpeedupApps {
+	eng.Map(len(SpeedupApps), func(i int) {
+		name := SpeedupApps[i]
 		app, err := workloads.Lookup(name)
 		if err != nil {
 			panic(err)
@@ -105,15 +108,15 @@ func speedupStudy(title, fastLabel, slowLabel string, ops []isa.Op,
 		slowBase := cpu.New(slow)
 		slowEnh := cpu.New(slow, units()...)
 		for _, inName := range app.Inputs {
-			in := inputFor(inName, scale)
-			app.Run(probe.New(fastBase, fastEnh, slowBase, slowEnh), in)
+			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale),
+				fastBase, fastEnh, slowBase, slowEnh)
 		}
-		res.Rows = append(res.Rows, SpeedupRow{
+		res.Rows[i] = SpeedupRow{
 			Name: name,
 			Fast: cellFrom(fastBase, fastEnh, ops),
 			Slow: cellFrom(slowBase, slowEnh, ops),
-		})
-	}
+		}
+	})
 	return res
 }
 

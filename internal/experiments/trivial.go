@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"memotable/internal/engine"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/report"
@@ -37,9 +38,10 @@ type Table9Result struct {
 // Table9 reproduces the trivial-operation policy comparison: for each
 // application, the fraction of trivial operations and the hit ratios
 // under the "all", "non" and "intgr" policies (32/4 tables).
-func Table9(scale Scale) *Table9Result {
-	res := &Table9Result{}
-	for _, name := range Table9Apps {
+func Table9(eng *engine.Engine, scale Scale) *Table9Result {
+	res := &Table9Result{Rows: make([]Table9Row, len(Table9Apps))}
+	eng.Map(len(Table9Apps), func(i int) {
+		name := Table9Apps[i]
 		app, err := workloads.Lookup(name)
 		if err != nil {
 			panic(err)
@@ -48,8 +50,7 @@ func Table9(scale Scale) *Table9Result {
 		non := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
 		intg := NewTableSet(memo.Paper32x4(), memo.Integrated)
 		for _, inName := range app.Inputs {
-			in := inputFor(inName, scale)
-			ImageRun(app.Run, in)(probeFor(all, non, intg))
+			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale), all, non, intg)
 		}
 		row := Table9Row{Name: name, Cell: map[isa.Op]Table9Cell{}}
 		for _, op := range ratioOps {
@@ -68,8 +69,8 @@ func Table9(scale Scale) *Table9Result {
 				Integrated:      intg.HitRatio(op),
 			}
 		}
-		res.Rows = append(res.Rows, row)
-	}
+		res.Rows[i] = row
+	})
 	return res
 }
 

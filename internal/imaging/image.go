@@ -10,6 +10,7 @@ package imaging
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"memotable/internal/stats"
 )
@@ -49,20 +50,32 @@ type Image struct {
 	Pix         []float64
 }
 
+// baseStart is where the synthetic address space begins.
+const baseStart uint64 = 0x10000000
+
 // nextBase spaces image allocations in the synthetic address space.
-var nextBase uint64 = 0x10000000
+var nextBase atomic.Uint64
+
+func init() { nextBase.Store(baseStart) }
+
+// ResetBase rewinds the synthetic address space to its start. A workload
+// capture calls it (under the experiment engine's global capture lock)
+// so that the addresses a workload emits are a pure function of the
+// workload — independent of what else the process allocated first — and
+// its recorded trace is therefore reproducible run to run.
+func ResetBase() { nextBase.Store(baseStart) }
 
 // New allocates a w×h image with the given bands and kind.
 func New(w, h, bands int, kind Kind) *Image {
 	if w <= 0 || h <= 0 || bands <= 0 {
 		panic(fmt.Sprintf("imaging: invalid dimensions %dx%dx%d", w, h, bands))
 	}
+	size := uint64(w*h*bands*8 + 4096)
 	im := &Image{
 		W: w, H: h, Bands: bands, Kind: kind,
-		Base: nextBase,
+		Base: nextBase.Add(size) - size,
 		Pix:  make([]float64, w*h*bands),
 	}
-	nextBase += uint64(w*h*bands*8 + 4096)
 	return im
 }
 

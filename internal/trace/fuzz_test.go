@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memotable/internal/isa"
+)
+
+// readSeedTrace loads the checked-in capture of a real workload (vdiff at
+// 16x16, recorded through the public Capture API).
+func readSeedTrace(t testing.TB) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "vdiff-16.mtrc"))
+	if err != nil {
+		t.Fatalf("seed trace: %v", err)
+	}
+	return data
+}
+
+// cleanDecodeErr reports whether err is an acceptable decode outcome:
+// success or a classified corruption error — never anything unwrapped.
+func cleanDecodeErr(err error) bool {
+	return err == nil || err == io.EOF || errors.Is(err, ErrBadTrace)
+}
+
+// FuzzTraceReader feeds arbitrary bytes to the reader: corrupt or
+// truncated input must surface ErrBadTrace (or decode cleanly), never
+// panic and never return an unclassified error.
+func FuzzTraceReader(f *testing.F) {
+	seed := readSeedTrace(f)
+	f.Add(seed)
+	f.Add(seed[:5])          // header only
+	f.Add(seed[:6])          // event cut mid-encoding
+	f.Add(seed[:len(seed)/2]) // torn mid-stream
+	f.Add([]byte{})
+	f.Add([]byte("MTRC"))                      // truncated header
+	f.Add([]byte{'M', 'T', 'R', 'C', 2})       // future version
+	f.Add([]byte{'X', 'T', 'R', 'C', 1, 0, 0}) // bad magic
+	f.Add(append(append([]byte{}, seed[:5]...), 0xff, 0x80, 0x80)) // bad op, dangling varint
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("NewReader: unclassified error %v", err)
+			}
+			return
+		}
+		var n uint64
+		for {
+			ev, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !cleanDecodeErr(err) {
+					t.Fatalf("Next: unclassified error %v", err)
+				}
+				break
+			}
+			if ev.Op >= isa.NumOps {
+				t.Fatalf("decoded out-of-range op %d", ev.Op)
+			}
+			n++
+		}
+		if n != r.Count() {
+			t.Fatalf("reader count %d, decoded %d", r.Count(), n)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip drives Writer -> Reader with an arbitrary event
+// stream derived from the fuzz input and requires a lossless round trip;
+// it then truncates the encoding at every prefix length and requires a
+// clean error, never a panic.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(readSeedTrace(f))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode the input as {op, a-varint, b-varint} triples, mapping the
+		// op byte into range, so the fuzzer explores operand encodings.
+		var events []Event
+		for r := bytes.NewReader(data); r.Len() > 0 && len(events) < 4096; {
+			op, _ := r.ReadByte()
+			a, _ := binary.ReadUvarint(r)
+			b, _ := binary.ReadUvarint(r)
+			events = append(events, Event{Op: isa.Op(op) % isa.NumOps, A: a, B: b})
+		}
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatalf("NewWriter: %v", err)
+		}
+		for _, ev := range events {
+			w.Emit(ev)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if w.Count() != uint64(len(events)) {
+			t.Fatalf("writer count %d, emitted %d", w.Count(), len(events))
+		}
+
+		encoded := buf.Bytes()
+		r, err := NewReader(bytes.NewReader(encoded))
+		if err != nil {
+			t.Fatalf("NewReader on own encoding: %v", err)
+		}
+		var got Recorder
+		n, err := r.Replay(&got)
+		if err != nil {
+			t.Fatalf("Replay on own encoding: %v", err)
+		}
+		if n != uint64(len(events)) {
+			t.Fatalf("replayed %d events, wrote %d", n, len(events))
+		}
+		for i, ev := range got.Events {
+			if ev != events[i] {
+				t.Fatalf("event %d: round-tripped %+v, wrote %+v", i, ev, events[i])
+			}
+		}
+
+		// Every truncation must fail cleanly: ErrBadTrace or a short clean
+		// decode ending in EOF, never a panic or foreign error.
+		for cut := 0; cut < len(encoded); cut += 1 + cut/7 {
+			tr, err := NewReader(bytes.NewReader(encoded[:cut]))
+			if err != nil {
+				if !errors.Is(err, ErrBadTrace) {
+					t.Fatalf("truncated header at %d: unclassified error %v", cut, err)
+				}
+				continue
+			}
+			if _, err := tr.Replay(&Recorder{}); !cleanDecodeErr(err) {
+				t.Fatalf("truncation at %d: unclassified error %v", cut, err)
+			}
+		}
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"sort"
 
+	"memotable/internal/engine"
 	"memotable/internal/experiments"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
@@ -88,6 +89,24 @@ type Shared = memo.Shared
 
 // NewShared wraps a table for multi-ported use.
 func NewShared(table *Table, ports int) *Shared { return memo.NewShared(table, ports) }
+
+// NewSharedStriped builds a multi-ported table whose sets are partitioned
+// across independently locked stripes, the way separate banks of a
+// multi-ported SRAM service separate ports. stripes <= 0 picks a bank
+// count matched to the port count and geometry.
+func NewSharedStriped(op Op, cfg Config, ports, stripes int) *Shared {
+	return memo.NewSharedStriped(op, cfg, ports, stripes)
+}
+
+// Engine is the parallel experiment engine: a bounded worker pool with a
+// trace cache that captures each workload once and replays it to every
+// table configuration. Experiment output is bit-identical at any worker
+// count.
+type Engine = engine.Engine
+
+// NewEngine builds an engine with the given worker count; workers <= 0
+// selects GOMAXPROCS.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
 
 // Paper32x4 returns the paper's basic configuration: 32 entries in sets
 // of 4, full-value tags.
@@ -153,29 +172,29 @@ const (
 )
 
 // experimentRunners maps experiment names to their drivers.
-var experimentRunners = map[string]func(Scale) string{
-	"table1":  func(Scale) string { return experiments.Table1() },
-	"table5":  func(Scale) string { return experiments.Table5().Render() },
-	"table6":  func(Scale) string { return experiments.Table6().Render() },
-	"table7":  func(s Scale) string { return experiments.Table7(s).Render() },
-	"table8":  func(s Scale) string { return experiments.Table8(s).Render() },
-	"table9":  func(s Scale) string { return experiments.Table9(s).Render() },
-	"table10": func(s Scale) string { return experiments.Table10(s).Render() },
-	"table11": func(s Scale) string { return experiments.Table11(s).Render() },
-	"table12": func(s Scale) string { return experiments.Table12(s).Render() },
-	"table13": func(s Scale) string { return experiments.Table13(s).Render() },
-	"figure2": func(s Scale) string { return experiments.Figure2(s).Render() },
-	"sqrt-extension": func(s Scale) string {
-		return experiments.ExtensionSqrt(s).Render()
+var experimentRunners = map[string]func(*Engine, Scale) string{
+	"table1":  func(*Engine, Scale) string { return experiments.Table1() },
+	"table5":  func(e *Engine, _ Scale) string { return experiments.Table5(e).Render() },
+	"table6":  func(e *Engine, _ Scale) string { return experiments.Table6(e).Render() },
+	"table7":  func(e *Engine, s Scale) string { return experiments.Table7(e, s).Render() },
+	"table8":  func(e *Engine, s Scale) string { return experiments.Table8(e, s).Render() },
+	"table9":  func(e *Engine, s Scale) string { return experiments.Table9(e, s).Render() },
+	"table10": func(e *Engine, s Scale) string { return experiments.Table10(e, s).Render() },
+	"table11": func(e *Engine, s Scale) string { return experiments.Table11(e, s).Render() },
+	"table12": func(e *Engine, s Scale) string { return experiments.Table12(e, s).Render() },
+	"table13": func(e *Engine, s Scale) string { return experiments.Table13(e, s).Render() },
+	"figure2": func(e *Engine, s Scale) string { return experiments.Figure2(e, s).Render() },
+	"sqrt-extension": func(e *Engine, s Scale) string {
+		return experiments.ExtensionSqrt(e, s).Render()
 	},
-	"recip-comparison": func(s Scale) string {
-		return experiments.ExtensionRecip(s).Render()
+	"recip-comparison": func(e *Engine, s Scale) string {
+		return experiments.ExtensionRecip(e, s).Render()
 	},
-	"reuse-comparison": func(s Scale) string {
-		return experiments.ReuseCompare(s).Render()
+	"reuse-comparison": func(e *Engine, s Scale) string {
+		return experiments.ReuseCompare(e, s).Render()
 	},
-	"figure3": func(s Scale) string { return experiments.Figure3(s).Render() },
-	"figure4": func(s Scale) string { return experiments.Figure4(s).Render() },
+	"figure3": func(e *Engine, s Scale) string { return experiments.Figure3(e, s).Render() },
+	"figure4": func(e *Engine, s Scale) string { return experiments.Figure4(e, s).Render() },
 }
 
 // Experiments lists the runnable experiment names.
@@ -188,12 +207,20 @@ func Experiments() []string {
 	return names
 }
 
-// RunExperiment reproduces one of the paper's tables or figures and
-// returns its rendered text.
+// RunExperiment reproduces one of the paper's tables or figures on the
+// reference serial path and returns its rendered text.
 func RunExperiment(name string, scale Scale) (string, error) {
+	return RunExperimentWith(engine.Serial(), name, scale)
+}
+
+// RunExperimentWith runs one experiment on the given engine. Sharing one
+// engine across experiments shares its trace cache, so workloads common
+// to several tables are executed once per process rather than once per
+// table. Output is identical to RunExperiment for any worker count.
+func RunExperimentWith(eng *Engine, name string, scale Scale) (string, error) {
 	run, ok := experimentRunners[name]
 	if !ok {
 		return "", fmt.Errorf("memotable: unknown experiment %q (have %v)", name, Experiments())
 	}
-	return run(scale), nil
+	return run(eng, scale), nil
 }
