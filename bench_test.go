@@ -405,6 +405,117 @@ func BenchmarkEngineReplay(b *testing.B) {
 	b.ReportMetric(float64(4096*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// benchMatrix runs the whole evaluation matrix (every experiment, tiny
+// scale) on one 8-worker engine per iteration, configured by the caller.
+func benchMatrix(b *testing.B, configure func(b *testing.B, eng *memotable.Engine)) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := memotable.NewEngine(8)
+		configure(b, eng)
+		b.StartTimer()
+		for _, name := range memotable.Experiments() {
+			if _, err := memotable.RunExperimentWith(eng, name, memotable.Tiny); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		eng.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkEvaluationMatrixCached is the baseline: every capture fits
+// the default memory budget.
+func BenchmarkEvaluationMatrixCached(b *testing.B) {
+	benchMatrix(b, func(*testing.B, *memotable.Engine) {})
+}
+
+// BenchmarkEvaluationMatrixSpillTier models a full-scale run whose
+// captures overflow memory with the disk tier available: a 1-byte budget
+// forces every trace into a spill file, and all replays stream from
+// disk.
+func BenchmarkEvaluationMatrixSpillTier(b *testing.B) {
+	benchMatrix(b, func(b *testing.B, eng *memotable.Engine) {
+		eng.SetCacheLimit(1)
+		eng.SetTraceDir(b.TempDir())
+	})
+}
+
+// BenchmarkEvaluationMatrixDeclineTier models the same overflow on PR
+// 1's engine: no disk tier, so every replay request re-executes its
+// workload under the process-wide capture lock.
+func BenchmarkEvaluationMatrixDeclineTier(b *testing.B) {
+	benchMatrix(b, func(b *testing.B, eng *memotable.Engine) {
+		eng.SetCacheLimit(1)
+	})
+}
+
+// spillBenchCapture is a real MM workload (vdiff over the ablation
+// input), so the decline path below pays what it pays in practice: the
+// imaging kernel re-executes, not just a stream re-emission.
+func spillBenchCapture(b *testing.B) (memotable.CaptureFunc, uint64) {
+	b.Helper()
+	app, err := workloads.Lookup("vdiff")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := ablationInput()
+	var c trace.Counter
+	capture := func(s trace.Sink) { app.Run(probe.New(s), img) }
+	capture(&c)
+	return capture, c.Total()
+}
+
+// BenchmarkEngineSpillReplay measures the disk tier on a real workload:
+// the capture exceeds the memory budget and every request streams from a
+// CRC-framed spill file (verify pass + frame decode).
+func BenchmarkEngineSpillReplay(b *testing.B) {
+	capture, events := spillBenchCapture(b)
+	eng := memotable.NewEngine(1)
+	eng.SetCacheLimit(1) // force every capture past the memory tier
+	eng.SetTraceDir(b.TempDir())
+	defer eng.Close()
+	run := func() {
+		var c trace.Counter
+		n, err := eng.Replay("bench", capture, &c)
+		if err != nil || n != events {
+			b.Fatalf("replay: n=%d want=%d err=%v", n, events, err)
+		}
+	}
+	run() // capture and spill once
+	if eng.SpilledTraces() != 1 {
+		b.Fatal("capture did not spill")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEngineDeclineReexecute measures the path spilling replaces:
+// the capture is declined for space and every request re-executes the
+// workload under the process-wide capture lock — PR 1's only recourse
+// when a trace outgrew the budget.
+func BenchmarkEngineDeclineReexecute(b *testing.B) {
+	capture, events := spillBenchCapture(b)
+	eng := memotable.NewEngine(1)
+	eng.SetCacheLimit(1) // decline every capture; no spill tier
+	run := func() {
+		var c trace.Counter
+		n, err := eng.Replay("bench", capture, &c)
+		if err != nil || n != events {
+			b.Fatalf("replay: n=%d want=%d err=%v", n, events, err)
+		}
+	}
+	run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkExtensionSqrt regenerates the square-root memoization study
 // (paper §4 future work).
 func BenchmarkExtensionSqrt(b *testing.B) { benchExperiment(b, "sqrt-extension", memotable.Tiny) }

@@ -3,25 +3,31 @@
 //
 // Usage:
 //
-//	memosim [-scale tiny|quick|full] [-run all|table5|...|figure4] [-parallel N]
+//	memosim [-scale tiny|quick|full] [-run all|table5,table6,...|figure4]
+//	        [-parallel N] [-tracedir DIR]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"memotable"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	scaleFlag := flag.String("scale", "quick", "input scale: tiny, quick or full")
-	runFlag := flag.String("run", "all", "experiment to run: all, or one of "+
+	runFlag := flag.String("run", "all", "comma-separated experiments to run: all, or from "+
 		strings.Join(memotable.Experiments(), ", "))
 	parallelFlag := flag.Int("parallel", 0,
 		"experiment engine workers: 1 is serial, 0 selects GOMAXPROCS")
+	traceDirFlag := flag.String("tracedir", filepath.Join(os.TempDir(), "memosim-traces"),
+		"spill directory for operand traces that exceed the in-memory cache budget; empty disables the disk tier")
 	flag.Parse()
 
 	var scale memotable.Scale
@@ -34,27 +40,48 @@ func main() {
 		scale = memotable.Full
 	default:
 		fmt.Fprintf(os.Stderr, "memosim: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return 2
+	}
+
+	// Validate the whole -run list before running anything: an unknown
+	// name in position k must not waste the k-1 experiments before it.
+	names := memotable.Experiments()
+	if *runFlag != "all" {
+		known := make(map[string]bool, len(names))
+		for _, n := range names {
+			known[n] = true
+		}
+		names = strings.Split(*runFlag, ",")
+		for i, name := range names {
+			names[i] = strings.TrimSpace(name)
+			if !known[names[i]] {
+				fmt.Fprintf(os.Stderr, "memosim: unknown experiment %q (have %s)\n",
+					names[i], strings.Join(memotable.Experiments(), ", "))
+				return 2
+			}
+		}
 	}
 
 	// One engine for the whole invocation: its trace cache makes workloads
 	// shared between experiments run once per process, and its worker pool
 	// fans each experiment's cells across -parallel goroutines. Output is
-	// bit-identical at any worker count.
+	// bit-identical at any worker count. Over-budget captures spill to
+	// -tracedir rather than being re-executed on every replay.
 	eng := memotable.NewEngine(*parallelFlag)
-
-	names := memotable.Experiments()
-	if *runFlag != "all" {
-		names = strings.Split(*runFlag, ",")
+	if *traceDirFlag != "" {
+		eng.SetTraceDir(*traceDirFlag)
 	}
+	defer eng.Close()
+
 	for _, name := range names {
 		start := time.Now()
-		out, err := memotable.RunExperimentWith(eng, strings.TrimSpace(name), scale)
+		out, err := memotable.RunExperimentWith(eng, name, scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memosim:", err)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Println(out)
 		fmt.Printf("(%s in %v, %d workers)\n\n", name, time.Since(start).Round(time.Millisecond), eng.Workers())
 	}
+	return 0
 }

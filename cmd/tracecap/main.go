@@ -6,7 +6,11 @@
 // Usage:
 //
 //	tracecap -out trace.mtrc -app vspatial -input mandrill [-maxdim 128]
-//	tracecap -out trace.mtrc -kernel hydro2d
+//	tracecap -out trace.mtrc -kernel hydro2d [-format v2] [-compress]
+//
+// Format v2 frames the stream with CRC32C checksums so corruption is
+// detected on replay; -compress additionally DEFLATE-compresses each
+// frame. tracereplay reads either format.
 package main
 
 import (
@@ -26,11 +30,21 @@ func main() {
 	input := flag.String("input", "mandrill", "catalog input image for -app")
 	kernel := flag.String("kernel", "", "scientific kernel to trace")
 	maxDim := flag.Int("maxdim", 128, "decimate the input to this many pixels per side")
+	format := flag.String("format", "v1", "trace format to write: v1, or v2 (CRC-framed)")
+	compress := flag.Bool("compress", false, "DEFLATE-compress v2 frames (requires -format v2)")
 	flag.Parse()
 
 	if *out == "" || (*app == "") == (*kernel == "") {
 		fmt.Fprintln(os.Stderr, "tracecap: need -out and exactly one of -app/-kernel")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *format != "v1" && *format != "v2" {
+		fmt.Fprintf(os.Stderr, "tracecap: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if *compress && *format != "v2" {
+		fmt.Fprintln(os.Stderr, "tracecap: -compress requires -format v2")
 		os.Exit(2)
 	}
 
@@ -59,7 +73,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	n, err := memotable.Capture(f, run)
+	var n uint64
+	if *format == "v2" {
+		n, err = memotable.CaptureV2(f, *compress, run)
+	} else {
+		n, err = memotable.Capture(f, run)
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -55,3 +55,41 @@ func TestExperimentGoldens(t *testing.T) {
 		})
 	}
 }
+
+// TestExperimentGoldensWithSpillTier reruns the golden matrix on an
+// 8-worker engine whose memory budget is too small for any capture, so
+// every workload trace spills to disk and every cell replays through the
+// CRC-framed spill files. Output must stay byte-identical to the serial
+// goldens: the disk tier is invisible to the experiments.
+func TestExperimentGoldensWithSpillTier(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are written by the serial reference engine")
+	}
+	eng := memotable.NewEngine(8)
+	eng.SetCacheLimit(1)
+	eng.SetTraceDir(t.TempDir())
+	defer eng.Close()
+	for _, name := range memotable.Experiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out, err := memotable.RunExperimentWith(eng, name, memotable.Tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden (run `go test -run TestExperimentGoldens -update .`): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("spill-tier output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s",
+					out, want)
+			}
+		})
+	}
+	if eng.SpilledTraces() == 0 {
+		t.Error("no capture spilled: the spill tier went unexercised")
+	}
+	if eng.CachedTraces() != 0 {
+		t.Errorf("%d captures in the memory tier despite a 1-byte budget", eng.CachedTraces())
+	}
+}

@@ -15,16 +15,24 @@
 //     aggregation order is fixed by cell index, not completion order —
 //     paper-layout output is bit-identical at any worker count.
 //   - Bounded resources. The pool never exceeds its worker count, and
-//     the trace cache never exceeds its byte budget: a capture that
-//     would overflow the budget is simply not stored, and later
-//     requests for it re-run the workload directly.
+//     the trace cache is two-tiered under explicit space control: the
+//     memory tier never exceeds its byte budget (reservations are taken
+//     under the cache lock before bytes are buffered, so concurrent
+//     captures cannot transiently hold multiples of the budget), and a
+//     capture that outgrows the budget fails over mid-stream to a
+//     CRC-framed spill file under TraceDir. Only when both tiers are
+//     unavailable is a capture declined — and a decline is re-armed as
+//     soon as the budget grows or a spill directory appears, so raising
+//     either limit retroactively repairs earlier declines. Corrupt or
+//     torn spill files are detected by frame checksum on every replay
+//     and transparently re-captured.
 package engine
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
-	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -52,41 +60,74 @@ type CaptureFunc func(trace.Sink)
 // the bulk of the evaluation's cells — never take it.
 var captureMu sync.Mutex
 
-// Engine is a bounded worker pool with an attached trace cache. The zero
-// value is not usable; construct with New or Serial.
-type Engine struct {
-	workers    int
-	cacheLimit int64
+// entryState is the lifecycle of one cache slot. Unlike a sync.Once, the
+// state machine can travel backwards: a declined or corrupted entry
+// returns to stateEmpty and the next request re-captures it.
+type entryState uint8
 
-	mu     sync.Mutex
-	used   int64
-	traces map[string]*traceEntry
+const (
+	stateEmpty    entryState = iota // no usable capture; next request captures
+	stateInflight                   // one goroutine is capturing; others wait
+	stateMemory                     // encoded trace held in RAM
+	stateDisk                       // encoded trace spilled to a v2 file
+	stateDeclined                   // no tier could hold it; direct-run until re-armed
+)
 
-	// Counters (atomic; exposed for benchmarks and reports).
-	captures atomic.Uint64 // workload executions performed
-	replays  atomic.Uint64 // cache replays served
+// traceEntry is one cache slot. All fields are guarded by Engine.mu; the
+// data slice is immutable once the entry reaches stateMemory.
+type traceEntry struct {
+	state  entryState
+	data   []byte // stateMemory: encoded v2 trace
+	events uint64
+	path   string // stateDisk: spill file
+
+	// Conditions observed when the entry was declined. The entry
+	// re-arms when either improves (budget grew, spill tier appeared).
+	declinedLimit int64
+	declinedSpill bool
 }
 
-// traceEntry is one cached capture. Its fields are written exactly once,
-// inside once.Do, and are immutable afterwards.
-type traceEntry struct {
-	once   sync.Once
-	data   []byte // encoded trace; nil when the capture declined to store
+// entrySnapshot is the immutable view of a settled entry that Replay
+// works from after releasing the cache lock.
+type entrySnapshot struct {
+	state  entryState
+	data   []byte
 	events uint64
-	cached bool
+	path   string
+}
+
+// Engine is a bounded worker pool with an attached two-tier trace cache.
+// The zero value is not usable; construct with New or Serial.
+type Engine struct {
+	workers int
+
+	mu         sync.Mutex
+	cond       *sync.Cond // broadcast when an entry leaves stateInflight
+	cacheLimit int64
+	used       int64 // bytes held by stateMemory entries
+	reserved   int64 // bytes reserved by in-flight captures; used+reserved <= cacheLimit
+	spillDir   string
+	traces     map[string]*traceEntry
+
+	// Counters (atomic; exposed for benchmarks and reports).
+	captures   atomic.Uint64 // workload executions performed
+	replays    atomic.Uint64 // cache replays served (both tiers)
+	recaptures atomic.Uint64 // spill files invalidated by checksum and re-captured
 }
 
 // New builds an engine with the given worker count (<= 0 selects
-// GOMAXPROCS) and the default trace-cache budget.
+// GOMAXPROCS), the default trace-cache budget, and no spill tier.
 func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		workers:    workers,
 		cacheLimit: DefaultCacheBytes,
 		traces:     make(map[string]*traceEntry),
 	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
 }
 
 // Serial builds a single-worker engine: cells execute in index order on
@@ -96,28 +137,83 @@ func Serial() *Engine { return New(1) }
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// SetCacheLimit adjusts the trace-cache byte budget. A non-positive
-// limit disables storage entirely (every Replay re-runs its workload).
+// SetCacheLimit adjusts the memory tier's byte budget. A non-positive
+// limit disables the memory tier (captures spill to TraceDir when one is
+// set, and are declined otherwise). Raising the limit re-arms captures
+// that were previously declined for space.
 func (e *Engine) SetCacheLimit(n int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cacheLimit = n
 }
 
-// CachedTraces returns the number of stored captures.
+// SetTraceDir enables the disk spill tier: captures that exceed the
+// memory budget stream into CRC-framed trace files under dir, created on
+// demand. An empty dir disables the tier. Enabling it re-arms captures
+// that were previously declined for space.
+func (e *Engine) SetTraceDir(dir string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.spillDir = dir
+}
+
+// TraceDir returns the spill directory ("" when the tier is disabled).
+func (e *Engine) TraceDir() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.spillDir
+}
+
+// Close removes the engine's spill files. The engine stays usable —
+// spilled entries revert to stateEmpty and would be re-captured — but
+// Close is meant for the end of a run, after all cells have finished.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	var paths []string
+	for _, ent := range e.traces {
+		if ent.state == stateDisk {
+			paths = append(paths, ent.path)
+			ent.state = stateEmpty
+			ent.path = ""
+		}
+	}
+	e.mu.Unlock()
+	var firstErr error
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// CachedTraces returns the number of captures held in the memory tier.
 func (e *Engine) CachedTraces() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	n := 0
 	for _, ent := range e.traces {
-		if ent.cached {
+		if ent.state == stateMemory {
 			n++
 		}
 	}
 	return n
 }
 
-// CachedBytes returns the encoded size of all stored captures.
+// SpilledTraces returns the number of captures held in the disk tier.
+func (e *Engine) SpilledTraces() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, ent := range e.traces {
+		if ent.state == stateDisk {
+			n++
+		}
+	}
+	return n
+}
+
+// CachedBytes returns the encoded size of all memory-tier captures.
 func (e *Engine) CachedBytes() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -128,8 +224,13 @@ func (e *Engine) CachedBytes() int64 {
 // (cache misses plus declined-to-store re-runs).
 func (e *Engine) Captures() uint64 { return e.captures.Load() }
 
-// Replays returns how many cache replays the engine has served.
+// Replays returns how many cache replays the engine has served, from
+// either tier.
 func (e *Engine) Replays() uint64 { return e.replays.Load() }
+
+// Recaptures returns how many spill files failed checksum verification
+// and were invalidated for transparent re-capture.
+func (e *Engine) Recaptures() uint64 { return e.recaptures.Load() }
 
 // Map runs cell(0..n-1) across the worker pool and returns when all
 // cells have finished. Cells must be independent: each writes only its
@@ -178,109 +279,238 @@ func (e *Engine) Map(n int, cell func(i int)) {
 	}
 }
 
-// entry returns the cache slot for key, creating it if needed.
-func (e *Engine) entry(key string) *traceEntry {
+// ensure settles key's entry — capturing the workload if no usable tier
+// holds it yet — and returns a snapshot of the settled state. Concurrent
+// callers for the same key singleflight: exactly one captures, the rest
+// wait on the engine's condition variable. A declined entry re-arms here
+// when the budget has grown or a spill tier has appeared since the
+// decline was recorded.
+func (e *Engine) ensure(key string, capture CaptureFunc) entrySnapshot {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	ent, ok := e.traces[key]
 	if !ok {
 		ent = &traceEntry{}
 		e.traces[key] = ent
 	}
-	return ent
+	for {
+		switch ent.state {
+		case stateMemory, stateDisk:
+			snap := entrySnapshot{state: ent.state, data: ent.data, events: ent.events, path: ent.path}
+			e.mu.Unlock()
+			return snap
+		case stateDeclined:
+			if e.cacheLimit > ent.declinedLimit || (e.spillDir != "" && !ent.declinedSpill) {
+				ent.state = stateEmpty // conditions improved: re-arm
+				continue
+			}
+			e.mu.Unlock()
+			return entrySnapshot{state: stateDeclined}
+		case stateEmpty:
+			ent.state = stateInflight
+			e.mu.Unlock()
+			e.store(ent, capture)
+			e.mu.Lock()
+		case stateInflight:
+			e.cond.Wait()
+		}
+	}
 }
 
-// Warm ensures key's trace is captured and stored (budget permitting)
+// Warm ensures key's trace is captured and stored (tier permitting)
 // without replaying it anywhere. Drivers call it over their workload
 // list up front so the replay fan-out never stalls a cell on a capture
 // (captures themselves serialize on the global capture lock).
 func (e *Engine) Warm(key string, capture CaptureFunc) {
-	ent := e.entry(key)
-	ent.once.Do(func() { e.store(ent, capture) })
+	e.ensure(key, capture)
 }
+
+// maxSpillAttempts bounds how many times one Replay call will invalidate
+// a corrupt spill file and re-capture before giving up.
+const maxSpillAttempts = 3
 
 // Replay feeds key's operand stream into sink and returns the event
 // count. The first request captures the workload (storing the encoding
-// when the budget allows); concurrent requests for the same key wait for
-// that single capture. When the capture was declined for space, the
-// workload simply runs again, streaming straight into sink.
+// in whichever tier has room); concurrent requests for the same key wait
+// for that single capture. When no tier could hold the capture, the
+// workload simply runs again, streaming straight into sink. A spill file
+// that fails checksum verification is removed and transparently
+// re-captured before anything reaches the sink.
 func (e *Engine) Replay(key string, capture CaptureFunc, sink trace.Sink) (uint64, error) {
-	ent := e.entry(key)
-	ent.once.Do(func() { e.store(ent, capture) })
-	if !ent.cached {
-		e.captures.Add(1)
-		cs := &countingSink{next: sink}
-		captureMu.Lock()
-		capture(cs)
-		captureMu.Unlock()
-		return cs.n, nil
+	for attempt := 1; ; attempt++ {
+		snap := e.ensure(key, capture)
+		switch snap.state {
+		case stateDeclined:
+			e.captures.Add(1)
+			cs := &countingSink{next: sink}
+			captureMu.Lock()
+			capture(cs)
+			captureMu.Unlock()
+			return cs.n, nil
+
+		case stateMemory:
+			e.replays.Add(1)
+			r, err := trace.NewReader(bytes.NewReader(snap.data))
+			if err != nil {
+				return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
+			}
+			n, err := r.Replay(sink)
+			if err != nil {
+				return n, fmt.Errorf("engine: cached trace %q: %w", key, err)
+			}
+			if n != snap.events {
+				return n, fmt.Errorf("engine: cached trace %q replayed %d of %d events", key, n, snap.events)
+			}
+			return n, nil
+
+		case stateDisk:
+			// Verify every frame checksum before the first event is
+			// emitted: a corrupt or torn file must be caught while the
+			// sink is still untouched, so re-capturing stays
+			// transparent to the caller.
+			if err := e.verifySpill(snap.path, snap.events); err != nil {
+				e.invalidateSpill(key, snap.path)
+				if attempt >= maxSpillAttempts {
+					return 0, fmt.Errorf("engine: spilled trace %q unreadable after %d attempts: %w", key, attempt, err)
+				}
+				continue
+			}
+			n, err := e.replaySpill(snap, sink)
+			if err != nil {
+				// Post-verification failure (the file changed under
+				// us): the sink has seen partial events, so a silent
+				// re-capture would double-feed it. Surface the error.
+				e.invalidateSpill(key, snap.path)
+				return n, fmt.Errorf("engine: spilled trace %q: %w", key, err)
+			}
+			e.replays.Add(1)
+			return n, nil
+		}
 	}
-	e.replays.Add(1)
-	r, err := trace.NewReader(bytes.NewReader(ent.data))
+}
+
+// verifySpill checksums every frame of a spill file and checks the total
+// event count against the capture's, without emitting anything.
+func (e *Engine) verifySpill(path string, events uint64) error {
+	f, err := os.Open(path)
 	if err != nil {
-		return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
+		return err
+	}
+	defer f.Close()
+	n, err := trace.Verify(f)
+	if err != nil {
+		return err
+	}
+	if n != events {
+		return fmt.Errorf("spill holds %d of %d events", n, events)
+	}
+	return nil
+}
+
+// replaySpill streams a verified spill file into sink.
+func (e *Engine) replaySpill(snap entrySnapshot, sink trace.Sink) (uint64, error) {
+	f, err := os.Open(snap.path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return 0, err
 	}
 	n, err := r.Replay(sink)
 	if err != nil {
-		return n, fmt.Errorf("engine: cached trace %q: %w", key, err)
+		return n, err
 	}
-	if n != ent.events {
-		return n, fmt.Errorf("engine: cached trace %q replayed %d of %d events", key, n, ent.events)
+	if n != snap.events {
+		return n, fmt.Errorf("replayed %d of %d events", n, snap.events)
 	}
 	return n, nil
 }
 
-// store performs the one capture for an entry, encoding into memory and
-// keeping the bytes only if they fit the remaining budget.
-func (e *Engine) store(ent *traceEntry, capture CaptureFunc) {
-	e.captures.Add(1)
+// invalidateSpill retires a spill file observed to be corrupt: the entry
+// returns to stateEmpty (so the next request re-captures) and the file
+// is removed. The path guard makes concurrent detections idempotent.
+func (e *Engine) invalidateSpill(key, path string) {
 	e.mu.Lock()
-	limit := e.cacheLimit - e.used
+	ent := e.traces[key]
+	if ent != nil && ent.state == stateDisk && ent.path == path {
+		ent.state = stateEmpty
+		ent.path = ""
+		ent.events = 0
+		e.recaptures.Add(1)
+	}
 	e.mu.Unlock()
-	if limit <= 0 {
-		return // budget exhausted: don't even buffer
+	os.Remove(path)
+}
+
+// store performs the one capture for an in-flight entry and settles it
+// into a terminal state: memory when the encoding fits the reserved
+// budget, disk when it overflows and a spill directory is set, declined
+// otherwise. The caller has already moved the entry to stateInflight.
+func (e *Engine) store(ent *traceEntry, capture CaptureFunc) {
+	finished := false
+	defer func() {
+		if finished {
+			return
+		}
+		// The capture panicked mid-flight. Re-arm the entry so waiters
+		// (and later requests) retry rather than hang, and let the
+		// panic propagate to Map's collector.
+		e.mu.Lock()
+		ent.state = stateEmpty
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}()
+
+	e.captures.Add(1)
+	arm := &captureArm{e: e, mem: true}
+	tw, err := trace.NewWriterV2(arm, false)
+	if err == nil {
+		captureMu.Lock()
+		capture(tw)
+		captureMu.Unlock()
+		err = tw.Flush()
 	}
-	var buf bytes.Buffer
-	lw := &limitWriter{w: &buf, remaining: limit}
-	tw, err := trace.NewWriter(lw)
-	if err != nil {
+	finished = true
+
+	if err == nil && arm.mem {
+		// The whole stream fits the memory reservation: adopt it.
+		e.mu.Lock()
+		e.reserved -= arm.reserved
+		e.used += int64(arm.buf.Len())
+		ent.data = arm.buf.Bytes()
+		ent.events = tw.Count()
+		ent.state = stateMemory
+		e.cond.Broadcast()
+		e.mu.Unlock()
 		return
 	}
-	captureMu.Lock()
-	capture(tw)
-	captureMu.Unlock()
-	if err := tw.Flush(); err != nil {
-		return // overflowed the budget mid-capture: decline to store
+	if err == nil && arm.f != nil {
+		if cerr := arm.seal(); cerr == nil {
+			e.mu.Lock()
+			ent.path = arm.path
+			ent.events = tw.Count()
+			ent.state = stateDisk
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
 	}
+
+	// Neither tier could hold the capture: release whatever the arm
+	// still holds and record the conditions so the decline re-arms when
+	// they improve.
+	arm.discard()
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.used+int64(buf.Len()) > e.cacheLimit {
-		return
-	}
-	e.used += int64(buf.Len())
-	ent.data = buf.Bytes()
-	ent.events = tw.Count()
-	ent.cached = true
+	ent.state = stateDeclined
+	ent.declinedLimit = e.cacheLimit
+	ent.declinedSpill = e.spillDir != ""
+	e.cond.Broadcast()
+	e.mu.Unlock()
 }
 
-// errCacheFull aborts an over-budget capture's buffering.
-var errCacheFull = errors.New("engine: trace cache budget exceeded")
-
-// limitWriter forwards to w until the byte budget is exhausted, then
-// fails, which bufio surfaces at Flush so the capture is declined.
-type limitWriter struct {
-	w         io.Writer
-	remaining int64
-}
-
-func (l *limitWriter) Write(p []byte) (int, error) {
-	if int64(len(p)) > l.remaining {
-		l.remaining = 0
-		return 0, errCacheFull
-	}
-	l.remaining -= int64(len(p))
-	return l.w.Write(p)
-}
+// errCacheFull aborts a capture no tier can hold.
+var errCacheFull = errors.New("engine: trace cache budget exceeded and no spill tier")
 
 // countingSink counts events on their way to the wrapped sink.
 type countingSink struct {

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"bytes"
+	"os"
+)
+
+// captureArm is the io.Writer a capture encodes into. It lands the v2
+// byte stream in whichever tier has room, deciding mid-stream:
+//
+//   - While the memory tier is viable, every chunk reserves its size
+//     against the engine budget under the cache lock *before* it is
+//     buffered, so used+reserved never exceeds the limit — concurrent
+//     captures share the budget instead of each transiently buffering
+//     up to the whole remainder. (The encoder's internal frame buffer
+//     is the reservation granularity: at most one ~64 KiB frame per
+//     in-flight capture sits outside the accounting.)
+//   - The first chunk that cannot be reserved fails the capture over to
+//     a spill file: the buffered prefix — header plus whole frames,
+//     because WriterV2 writes frame-atomically — is flushed to the
+//     file, the reservation is released, and the rest of the stream
+//     goes straight to disk.
+//   - With no spill directory set, the fail-over write fails instead,
+//     which WriterV2 surfaces at Flush and store records as a decline.
+type captureArm struct {
+	e        *Engine
+	mem      bool // memory tier still viable
+	buf      bytes.Buffer
+	reserved int64 // bytes this arm holds of Engine.reserved
+	f        *os.File
+	path     string
+}
+
+// Write implements io.Writer for the capture encoder.
+func (a *captureArm) Write(p []byte) (int, error) {
+	if a.mem {
+		if a.reserve(int64(len(p))) {
+			a.buf.Write(p)
+			return len(p), nil
+		}
+		a.mem = false
+		a.release()
+		if err := a.openSpill(); err != nil {
+			return 0, err
+		}
+		a.buf = bytes.Buffer{} // prefix is on disk now; free it
+	}
+	return a.f.Write(p)
+}
+
+// reserve takes n bytes of the engine budget, failing without side
+// effects when the budget cannot cover it.
+func (a *captureArm) reserve(n int64) bool {
+	e := a.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.used+e.reserved+n > e.cacheLimit {
+		return false
+	}
+	e.reserved += n
+	a.reserved += n
+	return true
+}
+
+// release returns the arm's reservation to the budget.
+func (a *captureArm) release() {
+	if a.reserved == 0 {
+		return
+	}
+	e := a.e
+	e.mu.Lock()
+	e.reserved -= a.reserved
+	e.mu.Unlock()
+	a.reserved = 0
+}
+
+// openSpill creates the spill file and seeds it with the buffered stream
+// prefix. It fails with errCacheFull when the tier is disabled.
+func (a *captureArm) openSpill() error {
+	e := a.e
+	e.mu.Lock()
+	dir := e.spillDir
+	e.mu.Unlock()
+	if dir == "" {
+		return errCacheFull
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, "trace-*.mtrc")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(a.buf.Bytes()); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	a.f, a.path = f, f.Name()
+	return nil
+}
+
+// seal makes a completed spill file durable and readable: contents
+// synced, handle closed. On failure the file is removed.
+func (a *captureArm) seal() error {
+	err := a.f.Sync()
+	if cerr := a.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(a.path)
+	}
+	a.f = nil
+	return err
+}
+
+// discard abandons the capture: reservation released, any partial spill
+// file removed.
+func (a *captureArm) discard() {
+	a.release()
+	if a.f != nil {
+		a.f.Close()
+		os.Remove(a.path)
+		a.f = nil
+		a.path = ""
+	}
+}

@@ -10,15 +10,19 @@ import (
 	"memotable/internal/isa"
 )
 
-// Binary trace file format:
+// Binary trace file format, version 1:
 //
 //	magic   "MTRC"                (4 bytes)
-//	version uint8                 (currently 1)
+//	version uint8                 (1)
 //	events  repeated {op uint8, a uvarint, b uvarint}
 //
 // The format is append-only and stream-decodable; operand patterns are
 // varint-encoded because image-processing operands cluster in the low
 // exponent range after XOR folding is applied by the reader's consumers.
+//
+// Version 2 (filev2.go) keeps the per-event encoding but groups events
+// into CRC32C-checksummed, optionally compressed frames. Reader decodes
+// both versions transparently; Writer emits v1, WriterV2 emits v2.
 
 var magic = [4]byte{'M', 'T', 'R', 'C'}
 
@@ -69,10 +73,19 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// Reader decodes a trace stream.
+// Reader decodes a trace stream of either format version: the header's
+// version byte selects the raw v1 event decoder or the checksummed v2
+// frame decoder.
 type Reader struct {
-	r     *bufio.Reader
-	count uint64
+	r       *bufio.Reader
+	count   uint64
+	version uint8
+
+	// v2 frame state (filev2.go).
+	compressed bool
+	frame      []byte
+	fpos       int
+	fEvents    uint32
 }
 
 // NewReader validates the header and prepares to decode events.
@@ -85,15 +98,29 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if [4]byte(hdr[:4]) != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
 	}
-	if hdr[4] != formatVersion {
+	switch hdr[4] {
+	case formatVersion:
+		return &Reader{r: br, version: formatVersion}, nil
+	case formatVersionV2:
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing flags byte", ErrBadTrace)
+		}
+		if flags&^byte(flagFlate) != 0 {
+			return nil, fmt.Errorf("%w: unknown flags %#02x", ErrBadTrace, flags)
+		}
+		return &Reader{r: br, version: formatVersionV2, compressed: flags&flagFlate != 0}, nil
+	default:
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
 	}
-	return &Reader{r: br}, nil
 }
 
 // Next decodes one event. It returns io.EOF at a clean end of stream and
 // ErrBadTrace on corruption.
 func (r *Reader) Next() (Event, error) {
+	if r.version == formatVersionV2 {
+		return r.nextV2()
+	}
 	opByte, err := r.r.ReadByte()
 	if err == io.EOF {
 		return Event{}, io.EOF

@@ -1,0 +1,332 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"memotable/internal/isa"
+)
+
+// Trace format v2 layers CRC-framed chunks over the v1 event encoding so
+// that corruption anywhere in a stream — a torn spill file, a flipped
+// bit, a truncated frame — is detected before any damaged event reaches
+// a sink:
+//
+//	magic   "MTRC"              (4 bytes)
+//	version uint8 = 2
+//	flags   uint8               (bit 0: frame payloads are DEFLATE-compressed;
+//	                             all other bits must be zero)
+//	frames  repeated {
+//	    rawLen    uint32 LE     payload size before compression
+//	    storedLen uint32 LE     payload size on the wire
+//	    events    uint32 LE     events encoded in this frame
+//	    crc       uint32 LE     CRC32-Castagnoli over the 12 header bytes
+//	                            above followed by the stored payload
+//	    payload   storedLen bytes of the v1 per-event encoding
+//	                            {op uint8, a uvarint, b uvarint}
+//	}
+//
+// A frame holds ~64 KiB of raw event bytes (frameTarget), so the reader
+// verifies each checksum over a bounded buffer before decoding a single
+// event from it, and a clean io.EOF is only reported at a frame
+// boundary. The per-event encoding is exactly v1's, so the two versions
+// share one decoder; NewReader dispatches on the version byte and reads
+// either stream.
+
+const (
+	formatVersionV2 = 2
+
+	// flagFlate marks frame payloads as DEFLATE-compressed. Remaining
+	// flag bits are reserved and must be zero.
+	flagFlate = 0x01
+
+	// frameTarget is the raw payload size at which the writer seals a
+	// frame. An event can straddle the threshold by at most its own
+	// encoded length, bounding raw frames at frameTarget+maxEventLen.
+	frameTarget = 64 << 10
+
+	// maxEventLen is the longest single-event encoding.
+	maxEventLen = 1 + 2*binary.MaxVarintLen64
+
+	// maxFrameRaw / maxFrameStored bound the sizes a reader will
+	// allocate for, so a corrupt frame header cannot demand an
+	// arbitrary buffer. Stored payloads get slack for incompressible
+	// DEFLATE input (which grows slightly).
+	maxFrameRaw    = frameTarget + maxEventLen
+	maxFrameStored = maxFrameRaw + 1024
+
+	frameHeaderLen = 16
+)
+
+// castagnoli is the CRC32C table used by every frame checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriterV2 encodes events in trace format v2. Like Writer it implements
+// Sink, defers write errors to Flush, and counts emitted events.
+type WriterV2 struct {
+	w           io.Writer
+	frame       bytes.Buffer // raw event bytes of the open frame
+	wire        bytes.Buffer // assembled header+payload, one Write per frame
+	cbuf        bytes.Buffer // compressed payload scratch
+	comp        *flate.Writer
+	buf         [maxEventLen]byte
+	frameEvents uint32
+	count       uint64
+	err         error
+}
+
+// NewWriterV2 starts a v2 trace stream on w, writing the header
+// immediately. When compress is set, frame payloads are
+// DEFLATE-compressed (flate.BestSpeed) and the header's compression flag
+// records it for the reader.
+func NewWriterV2(w io.Writer, compress bool) (*WriterV2, error) {
+	var flags byte
+	if compress {
+		flags |= flagFlate
+	}
+	hdr := []byte{magic[0], magic[1], magic[2], magic[3], formatVersionV2, flags}
+	if _, err := w.Write(hdr); err != nil {
+		return nil, err
+	}
+	wr := &WriterV2{w: w}
+	if compress {
+		wr.comp, _ = flate.NewWriter(io.Discard, flate.BestSpeed)
+	}
+	return wr, nil
+}
+
+// Emit implements Sink. Encoding and write errors are deferred to Flush.
+func (w *WriterV2) Emit(ev Event) {
+	if w.err != nil {
+		return
+	}
+	w.count++
+	w.buf[0] = byte(ev.Op)
+	n := 1
+	n += binary.PutUvarint(w.buf[n:], ev.A)
+	n += binary.PutUvarint(w.buf[n:], ev.B)
+	w.frame.Write(w.buf[:n])
+	w.frameEvents++
+	if w.frame.Len() >= frameTarget {
+		w.err = w.flushFrame()
+	}
+}
+
+// Count returns the number of events emitted.
+func (w *WriterV2) Count() uint64 { return w.count }
+
+// Flush seals the open frame and surfaces any deferred error. The stream
+// is complete — readable to the last event — once Flush returns nil.
+func (w *WriterV2) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.frame.Len() > 0 {
+		w.err = w.flushFrame()
+	}
+	return w.err
+}
+
+// flushFrame seals the open frame and writes it to the underlying writer
+// as a single Write call, so downstream writers (the engine's spill
+// fail-over, for one) observe whole frames.
+func (w *WriterV2) flushFrame() error {
+	raw := w.frame.Bytes()
+	stored := raw
+	if w.comp != nil {
+		w.cbuf.Reset()
+		w.comp.Reset(&w.cbuf)
+		if _, err := w.comp.Write(raw); err != nil {
+			return err
+		}
+		if err := w.comp.Close(); err != nil {
+			return err
+		}
+		stored = w.cbuf.Bytes()
+	}
+	w.wire.Reset()
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(raw)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(stored)))
+	binary.LittleEndian.PutUint32(hdr[8:], w.frameEvents)
+	crc := crc32.Update(0, castagnoli, hdr[:12])
+	crc = crc32.Update(crc, castagnoli, stored)
+	binary.LittleEndian.PutUint32(hdr[12:], crc)
+	w.wire.Write(hdr[:])
+	w.wire.Write(stored)
+	if _, err := w.w.Write(w.wire.Bytes()); err != nil {
+		return err
+	}
+	w.frame.Reset()
+	w.frameEvents = 0
+	return nil
+}
+
+// readFrame loads, checksums and (if flagged) decompresses the next
+// frame into r.frame. It returns io.EOF only at a clean frame boundary;
+// every other defect is ErrBadTrace.
+func (r *Reader) readFrame() error {
+	if r.fpos != len(r.frame) {
+		return fmt.Errorf("%w: %d trailing bytes in frame", ErrBadTrace, len(r.frame)-r.fpos)
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: torn frame header: %v", ErrBadTrace, err)
+	}
+	rawLen := binary.LittleEndian.Uint32(hdr[0:])
+	storedLen := binary.LittleEndian.Uint32(hdr[4:])
+	events := binary.LittleEndian.Uint32(hdr[8:])
+	crc := binary.LittleEndian.Uint32(hdr[12:])
+	if err := checkFrameHeader(rawLen, storedLen, events, r.compressed); err != nil {
+		return err
+	}
+	stored := make([]byte, storedLen)
+	if _, err := io.ReadFull(r.r, stored); err != nil {
+		return fmt.Errorf("%w: torn frame payload: %v", ErrBadTrace, err)
+	}
+	got := crc32.Update(0, castagnoli, hdr[:12])
+	got = crc32.Update(got, castagnoli, stored)
+	if got != crc {
+		return fmt.Errorf("%w: frame CRC %08x, computed %08x", ErrBadTrace, crc, got)
+	}
+	if r.compressed {
+		raw := make([]byte, rawLen)
+		fr := flate.NewReader(bytes.NewReader(stored))
+		if _, err := io.ReadFull(fr, raw); err != nil {
+			return fmt.Errorf("%w: frame decompression: %v", ErrBadTrace, err)
+		}
+		var tail [1]byte
+		if n, _ := fr.Read(tail[:]); n != 0 {
+			return fmt.Errorf("%w: frame inflates past declared size %d", ErrBadTrace, rawLen)
+		}
+		r.frame = raw
+	} else {
+		r.frame = stored
+	}
+	r.fpos = 0
+	r.fEvents = events
+	return nil
+}
+
+// checkFrameHeader vets the declared sizes of a frame before any buffer
+// is allocated for it. Every event encodes to at least 3 bytes, tying
+// the declared event count to the declared payload size.
+func checkFrameHeader(rawLen, storedLen, events uint32, compressed bool) error {
+	switch {
+	case rawLen == 0 || events == 0:
+		return fmt.Errorf("%w: empty frame", ErrBadTrace)
+	case rawLen > maxFrameRaw:
+		return fmt.Errorf("%w: frame raw size %d exceeds limit %d", ErrBadTrace, rawLen, maxFrameRaw)
+	case storedLen > maxFrameStored:
+		return fmt.Errorf("%w: frame stored size %d exceeds limit %d", ErrBadTrace, storedLen, maxFrameStored)
+	case uint64(rawLen) < 3*uint64(events):
+		return fmt.Errorf("%w: frame declares %d events in %d bytes", ErrBadTrace, events, rawLen)
+	case !compressed && storedLen != rawLen:
+		return fmt.Errorf("%w: uncompressed frame sizes disagree (%d raw, %d stored)", ErrBadTrace, rawLen, storedLen)
+	}
+	return nil
+}
+
+// nextV2 decodes one event from the current frame, pulling in the next
+// frame as needed.
+func (r *Reader) nextV2() (Event, error) {
+	for r.fEvents == 0 {
+		if err := r.readFrame(); err != nil {
+			return Event{}, err
+		}
+	}
+	if r.fpos >= len(r.frame) {
+		return Event{}, fmt.Errorf("%w: frame under-delivers its declared events", ErrBadTrace)
+	}
+	opByte := r.frame[r.fpos]
+	if opByte >= byte(isa.NumOps) {
+		return Event{}, fmt.Errorf("%w: op byte %d", ErrBadTrace, opByte)
+	}
+	pos := r.fpos + 1
+	a, n := binary.Uvarint(r.frame[pos:])
+	if n <= 0 {
+		return Event{}, fmt.Errorf("%w: operand A varint", ErrBadTrace)
+	}
+	pos += n
+	b, n := binary.Uvarint(r.frame[pos:])
+	if n <= 0 {
+		return Event{}, fmt.Errorf("%w: operand B varint", ErrBadTrace)
+	}
+	r.fpos = pos + n
+	r.fEvents--
+	r.count++
+	return Event{Op: isa.Op(opByte), A: a, B: b}, nil
+}
+
+// Verify scans a trace stream end to end and returns its event count
+// without feeding any sink. For v2 streams only frame headers and
+// checksums are examined — no decompression, no event decoding — so a
+// spill file is vetted at sequential-read speed before a replay commits
+// events to a sink. v1 streams carry no checksums and are fully decoded.
+func Verify(rd io.Reader) (uint64, error) {
+	br := bufio.NewReaderSize(rd, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: missing header", ErrBadTrace)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+	}
+	switch hdr[4] {
+	case formatVersion:
+		r := &Reader{r: br, version: formatVersion}
+		return r.Replay(discardSink{})
+	case formatVersionV2:
+		flags, err := br.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: missing flags byte", ErrBadTrace)
+		}
+		if flags&^byte(flagFlate) != 0 {
+			return 0, fmt.Errorf("%w: unknown flags %#02x", ErrBadTrace, flags)
+		}
+		compressed := flags&flagFlate != 0
+		var events uint64
+		var fh [frameHeaderLen]byte
+		for {
+			if _, err := io.ReadFull(br, fh[:]); err != nil {
+				if err == io.EOF {
+					return events, nil
+				}
+				return events, fmt.Errorf("%w: torn frame header: %v", ErrBadTrace, err)
+			}
+			rawLen := binary.LittleEndian.Uint32(fh[0:])
+			storedLen := binary.LittleEndian.Uint32(fh[4:])
+			n := binary.LittleEndian.Uint32(fh[8:])
+			crc := binary.LittleEndian.Uint32(fh[12:])
+			if err := checkFrameHeader(rawLen, storedLen, n, compressed); err != nil {
+				return events, err
+			}
+			stored := make([]byte, storedLen)
+			if _, err := io.ReadFull(br, stored); err != nil {
+				return events, fmt.Errorf("%w: torn frame payload: %v", ErrBadTrace, err)
+			}
+			got := crc32.Update(0, castagnoli, fh[:12])
+			got = crc32.Update(got, castagnoli, stored)
+			if got != crc {
+				return events, fmt.Errorf("%w: frame CRC %08x, computed %08x", ErrBadTrace, crc, got)
+			}
+			events += uint64(n)
+		}
+	default:
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
+	}
+}
+
+// discardSink drops every event; Verify uses it to drive the v1 decoder.
+type discardSink struct{}
+
+// Emit implements Sink.
+func (discardSink) Emit(Event) {}

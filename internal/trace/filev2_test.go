@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"memotable/internal/isa"
+)
+
+// seedTraceEvents is the pinned event count of testdata/vdiff-16.mtrc,
+// the v1 capture every compat test replays.
+const seedTraceEvents = 9984
+
+// randomEvents builds a deterministic event stream big enough to span
+// several v2 frames (n=60000 at ~3-21 bytes/event crosses 64 KiB).
+func randomEvents(n int, seed int64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]Event, n)
+	for i := range events {
+		ev := Event{Op: isa.Op(rng.Intn(int(isa.NumOps)))}
+		// Mix small operands (short varints) with full-width ones.
+		if rng.Intn(2) == 0 {
+			ev.A, ev.B = uint64(rng.Intn(256)), uint64(rng.Intn(64))
+		} else {
+			ev.A, ev.B = rng.Uint64(), rng.Uint64()
+		}
+		events[i] = ev
+	}
+	return events
+}
+
+// encodeV2 runs events through WriterV2 and returns the wire bytes.
+func encodeV2(t testing.TB, events []Event, compress bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, compress)
+	if err != nil {
+		t.Fatalf("NewWriterV2: %v", err)
+	}
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Fatalf("writer count %d, emitted %d", w.Count(), len(events))
+	}
+	return buf.Bytes()
+}
+
+// decodeAll replays a stream into memory.
+func decodeAll(t testing.TB, data []byte) []Event {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var rec Recorder
+	if _, err := r.Replay(&rec); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return rec.Events
+}
+
+func TestV2RoundTripMultiFrame(t *testing.T) {
+	events := randomEvents(60000, 11)
+	for _, compress := range []bool{false, true} {
+		data := encodeV2(t, events, compress)
+		if len(data) <= frameHeaderLen+6 {
+			t.Fatalf("compress=%v: suspiciously small encoding (%d bytes)", compress, len(data))
+		}
+		got := decodeAll(t, data)
+		if len(got) != len(events) {
+			t.Fatalf("compress=%v: decoded %d events, wrote %d", compress, len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("compress=%v: event %d: %+v != %+v", compress, i, got[i], events[i])
+			}
+		}
+		n, err := Verify(bytes.NewReader(data))
+		if err != nil || n != uint64(len(events)) {
+			t.Fatalf("compress=%v: Verify = %d,%v", compress, n, err)
+		}
+	}
+}
+
+func TestV2EmptyStream(t *testing.T) {
+	data := encodeV2(t, nil, false)
+	if got := decodeAll(t, data); len(got) != 0 {
+		t.Fatalf("decoded %d events from empty stream", len(got))
+	}
+	if n, err := Verify(bytes.NewReader(data)); err != nil || n != 0 {
+		t.Fatalf("Verify = %d,%v", n, err)
+	}
+}
+
+// TestV1SeedTraceCompat pins the v1 reading path: the checked-in capture
+// must keep replaying to the same event count, and re-encoding it as v2
+// (both plain and compressed) must round-trip the identical stream.
+func TestV1SeedTraceCompat(t *testing.T) {
+	seed := readSeedTrace(t)
+	if seed[4] != formatVersion {
+		t.Fatalf("seed trace is version %d, want v1", seed[4])
+	}
+	v1 := decodeAll(t, seed)
+	if len(v1) != seedTraceEvents {
+		t.Fatalf("v1 seed replayed %d events, want %d", len(v1), seedTraceEvents)
+	}
+	if n, err := Verify(bytes.NewReader(seed)); err != nil || n != seedTraceEvents {
+		t.Fatalf("Verify(v1) = %d,%v", n, err)
+	}
+	for _, compress := range []bool{false, true} {
+		v2 := decodeAll(t, encodeV2(t, v1, compress))
+		if len(v2) != len(v1) {
+			t.Fatalf("compress=%v: v2 re-encoding replayed %d events, want %d", compress, len(v2), len(v1))
+		}
+		for i := range v2 {
+			if v2[i] != v1[i] {
+				t.Fatalf("compress=%v: event %d diverged across v1->v2: %+v != %+v", compress, i, v2[i], v1[i])
+			}
+		}
+	}
+}
+
+// TestV2RejectsCorruption walks the classified failure modes: every one
+// must surface ErrBadTrace, and flipping any single byte of a valid
+// stream must never produce a quietly wrong decode of v2 framing.
+func TestV2RejectsCorruption(t *testing.T) {
+	events := randomEvents(500, 23)
+	data := encodeV2(t, events, false)
+
+	check := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		d := mutate(append([]byte(nil), data...))
+		r, err := NewReader(bytes.NewReader(d))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("%s: unclassified NewReader error %v", name, err)
+			}
+			return
+		}
+		if _, err := r.Replay(&Recorder{}); !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("%s: Replay error = %v, want ErrBadTrace", name, err)
+		}
+	}
+
+	check("unknown flags", func(d []byte) []byte { d[5] |= 0x80; return d })
+	check("future version", func(d []byte) []byte { d[4] = 3; return d })
+	check("payload bit flip", func(d []byte) []byte { d[len(d)/2] ^= 0x40; return d })
+	check("crc field flip", func(d []byte) []byte { d[6+12] ^= 0x01; return d })
+	check("torn frame header", func(d []byte) []byte { return d[:6+frameHeaderLen-3] })
+	check("torn payload", func(d []byte) []byte { return d[:len(d)-7] })
+	check("oversized raw length", func(d []byte) []byte {
+		binary.LittleEndian.PutUint32(d[6:], maxFrameRaw+1)
+		return d
+	})
+	check("zero event count", func(d []byte) []byte {
+		binary.LittleEndian.PutUint32(d[6+8:], 0)
+		return d
+	})
+	check("event count beyond payload", func(d []byte) []byte {
+		binary.LittleEndian.PutUint32(d[6+8:], 1<<30)
+		return d
+	})
+	check("trailing garbage after frame", func(d []byte) []byte {
+		return append(d, 0xde, 0xad)
+	})
+
+	// Compressed stream corruption: CRC guards the stored payload, so a
+	// flipped compressed byte is caught before inflate ever runs.
+	cdata := encodeV2(t, events, true)
+	cd := append([]byte(nil), cdata...)
+	cd[len(cd)/2] ^= 0x10
+	r, err := NewReader(bytes.NewReader(cd))
+	if err == nil {
+		_, err = r.Replay(&Recorder{})
+	}
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("compressed flip: error = %v, want ErrBadTrace", err)
+	}
+}
+
+// TestV2TruncationAlwaysClean cuts a multi-frame stream at every offset:
+// the reader must either finish a clean (short) decode at a frame
+// boundary or report ErrBadTrace — never panic, hang, or return an
+// unclassified error.
+func TestV2TruncationAlwaysClean(t *testing.T) {
+	data := encodeV2(t, randomEvents(40000, 5), false)
+	for cut := 0; cut < len(data); cut += 1 + cut/9 {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("cut %d: unclassified NewReader error %v", cut, err)
+			}
+			continue
+		}
+		if _, err := r.Replay(&Recorder{}); err != nil && !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("cut %d: unclassified Replay error %v", cut, err)
+		}
+		if _, err := Verify(bytes.NewReader(data[:cut])); err != nil && !errors.Is(err, ErrBadTrace) {
+			t.Fatalf("cut %d: unclassified Verify error %v", cut, err)
+		}
+	}
+}
+
+// TestV2ReaderCountMatchesReplay keeps Reader.Count coherent with the
+// events handed out, across frame boundaries.
+func TestV2ReaderCountMatchesReplay(t *testing.T) {
+	data := encodeV2(t, randomEvents(30000, 3), true)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n uint64
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 30000 || r.Count() != n {
+		t.Fatalf("decoded %d, reader count %d", n, r.Count())
+	}
+}

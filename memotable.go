@@ -58,6 +58,8 @@ type (
 	Probe = probe.Probe
 	// Event is one dynamic operation in a trace.
 	Event = trace.Event
+	// Sink consumes a stream of trace events.
+	Sink = trace.Sink
 )
 
 // Operation classes.
@@ -99,10 +101,16 @@ func NewSharedStriped(op Op, cfg Config, ports, stripes int) *Shared {
 }
 
 // Engine is the parallel experiment engine: a bounded worker pool with a
-// trace cache that captures each workload once and replays it to every
-// table configuration. Experiment output is bit-identical at any worker
-// count.
+// two-tier trace cache that captures each workload once and replays it
+// to every table configuration — from memory within the byte budget
+// (Engine.SetCacheLimit), from CRC-framed spill files on disk beyond it
+// (Engine.SetTraceDir). Experiment output is bit-identical at any worker
+// count, spill on or off.
 type Engine = engine.Engine
+
+// CaptureFunc runs a workload, emitting its operand trace into a sink;
+// it is what Engine.Replay captures and replays.
+type CaptureFunc = engine.CaptureFunc
 
 // NewEngine builds an engine with the given worker count; workers <= 0
 // selects GOMAXPROCS.
@@ -128,9 +136,25 @@ func NewUnit(table *Table, policy TrivialPolicy, compute func(a, b uint64) uint6
 func NewProbe(sinks ...trace.Sink) *Probe { return probe.New(sinks...) }
 
 // Capture runs an instrumented program and streams its operand trace to
-// w in the binary trace format, returning the event count.
+// w in binary trace format v1, returning the event count.
 func Capture(w io.Writer, run func(*Probe)) (uint64, error) {
 	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	run(probe.New(tw))
+	if err := tw.Flush(); err != nil {
+		return tw.Count(), err
+	}
+	return tw.Count(), nil
+}
+
+// CaptureV2 is Capture writing trace format v2: events are grouped into
+// CRC32C-checksummed frames (optionally DEFLATE-compressed), so torn or
+// corrupted files are detected on read. Replay accepts both formats
+// transparently.
+func CaptureV2(w io.Writer, compress bool, run func(*Probe)) (uint64, error) {
+	tw, err := trace.NewWriterV2(w, compress)
 	if err != nil {
 		return 0, err
 	}
