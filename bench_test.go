@@ -406,11 +406,11 @@ func BenchmarkEngineReplay(b *testing.B) {
 }
 
 // benchMatrix runs the whole evaluation matrix (every experiment, tiny
-// scale) on one 8-worker engine per iteration, configured by the caller.
-func benchMatrix(b *testing.B, configure func(b *testing.B, eng *memotable.Engine)) {
+// scale) on one engine per iteration, configured by the caller.
+func benchMatrix(b *testing.B, workers int, configure func(b *testing.B, eng *memotable.Engine)) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		eng := memotable.NewEngine(8)
+		eng := memotable.NewEngine(workers)
 		configure(b, eng)
 		b.StartTimer()
 		for _, name := range memotable.Experiments() {
@@ -425,9 +425,32 @@ func benchMatrix(b *testing.B, configure func(b *testing.B, eng *memotable.Engin
 }
 
 // BenchmarkEvaluationMatrixCached is the baseline: every capture fits
-// the default memory budget.
+// the default memory budget, the decoded-block tier is on, and the
+// drivers replay each workload in fused multi-config passes.
 func BenchmarkEvaluationMatrixCached(b *testing.B) {
-	benchMatrix(b, func(*testing.B, *memotable.Engine) {})
+	benchMatrix(b, 8, func(*testing.B, *memotable.Engine) {})
+}
+
+// BenchmarkEvaluationMatrixNoBlockCache ablates the decoded-block tier:
+// every fused replay re-decodes the workload's encoded bytes.
+func BenchmarkEvaluationMatrixNoBlockCache(b *testing.B) {
+	benchMatrix(b, 8, func(b *testing.B, eng *memotable.Engine) {
+		eng.SetBlockCache(false)
+	})
+}
+
+// BenchmarkEvaluationMatrix1Worker is the single-threaded matrix with the
+// block tier on, isolating the decode-once win from pool parallelism.
+func BenchmarkEvaluationMatrix1Worker(b *testing.B) {
+	benchMatrix(b, 1, func(*testing.B, *memotable.Engine) {})
+}
+
+// BenchmarkEvaluationMatrix1WorkerNoBlockCache is the single-threaded
+// matrix re-decoding bytes on every replay.
+func BenchmarkEvaluationMatrix1WorkerNoBlockCache(b *testing.B) {
+	benchMatrix(b, 1, func(b *testing.B, eng *memotable.Engine) {
+		eng.SetBlockCache(false)
+	})
 }
 
 // BenchmarkEvaluationMatrixSpillTier models a full-scale run whose
@@ -435,7 +458,7 @@ func BenchmarkEvaluationMatrixCached(b *testing.B) {
 // forces every trace into a spill file, and all replays stream from
 // disk.
 func BenchmarkEvaluationMatrixSpillTier(b *testing.B) {
-	benchMatrix(b, func(b *testing.B, eng *memotable.Engine) {
+	benchMatrix(b, 8, func(b *testing.B, eng *memotable.Engine) {
 		eng.SetCacheLimit(1)
 		eng.SetTraceDir(b.TempDir())
 	})
@@ -445,9 +468,65 @@ func BenchmarkEvaluationMatrixSpillTier(b *testing.B) {
 // 1's engine: no disk tier, so every replay request re-executes its
 // workload under the process-wide capture lock.
 func BenchmarkEvaluationMatrixDeclineTier(b *testing.B) {
-	benchMatrix(b, func(b *testing.B, eng *memotable.Engine) {
+	benchMatrix(b, 8, func(b *testing.B, eng *memotable.Engine) {
 		eng.SetCacheLimit(1)
 	})
+}
+
+// --- replay-mode benchmarks ------------------------------------------------
+//
+// BenchmarkReplayModes isolates the tentpole's three regimes on one real
+// MM workload trace (vdiff over the ablation input) swept across the 11
+// Figure 3 configurations:
+//
+//   - bytes-per-cell: block tier off, one Replay per configuration — the
+//     pre-block-cache engine's cost: 11 full varint decodes per sweep.
+//   - blocks-per-cell: block tier on, one Replay per configuration — one
+//     decode, 11 block walks.
+//   - fused: one ReplayAll feeding all 11 configurations in a single pass
+//     over the decoded blocks.
+func BenchmarkReplayModes(b *testing.B) {
+	cfgs := make([]memo.Config, len(experiments.Figure3Sizes))
+	for i, n := range experiments.Figure3Sizes {
+		ways := 4
+		if n < 4 {
+			ways = n
+		}
+		cfgs[i] = memo.Config{Entries: n, Ways: ways}
+	}
+	run := func(b *testing.B, blockCache, fused bool) {
+		capture, events := spillBenchCapture(b)
+		eng := memotable.NewEngine(1)
+		defer eng.Close()
+		eng.SetBlockCache(blockCache)
+		var c trace.Counter
+		if _, err := eng.Replay("bench", capture, &c); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinks := make([]trace.Sink, len(cfgs))
+			for j, cfg := range cfgs {
+				sinks[j] = experiments.NewTableSet(cfg, memo.NonTrivialOnly)
+			}
+			if fused {
+				if _, err := eng.ReplayAll("bench", capture, sinks); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				for _, s := range sinks {
+					if _, err := eng.Replay("bench", capture, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(events)*float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(),
+			"events/s")
+	}
+	b.Run("bytes-per-cell", func(b *testing.B) { run(b, false, false) })
+	b.Run("blocks-per-cell", func(b *testing.B) { run(b, true, false) })
+	b.Run("fused", func(b *testing.B) { run(b, true, true) })
 }
 
 // spillBenchCapture is a real MM workload (vdiff over the ablation

@@ -73,6 +73,7 @@ func run() int {
 	}
 	defer eng.Close()
 
+	suiteStart := time.Now()
 	for _, name := range names {
 		start := time.Now()
 		out, err := memotable.RunExperimentWith(eng, name, scale)
@@ -83,5 +84,17 @@ func run() int {
 		fmt.Println(out)
 		fmt.Printf("(%s in %v, %d workers)\n\n", name, time.Since(start).Round(time.Millisecond), eng.Workers())
 	}
+
+	// Engine summary: how much the trace cache and the decoded-block tier
+	// saved across the whole invocation.
+	elapsed := time.Since(suiteStart)
+	evs := eng.ReplayedEvents()
+	fmt.Printf("engine: %d captures, %d replays (%d recaptures, %d traces spilled to disk)\n",
+		eng.Captures(), eng.Replays(), eng.Recaptures(), eng.SpilledTraces())
+	fmt.Printf("engine: replayed %d events in %v (%.1fM events/sec)\n",
+		evs, elapsed.Round(time.Millisecond),
+		float64(evs)/elapsed.Seconds()/1e6)
+	fmt.Printf("engine: decoded-block cache: %d entries, %.1f MiB, %d decode-once hits\n",
+		eng.DecodedEntries(), float64(eng.DecodedBlockBytes())/(1<<20), eng.DecodeOnceHits())
 	return 0
 }

@@ -96,6 +96,14 @@ func (m *Model) Emit(ev trace.Event) {
 	m.classCounts[ev.Op]++
 }
 
+// EmitBatch implements trace.BatchSink: the model consumes every event
+// class, so batching only saves the per-event interface dispatch.
+func (m *Model) EmitBatch(evs []trace.Event) {
+	for _, ev := range evs {
+		m.Emit(ev)
+	}
+}
+
 // Cycles returns the total cycle count.
 func (m *Model) Cycles() uint64 { return m.cycles }
 

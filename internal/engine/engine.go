@@ -15,7 +15,7 @@
 //     aggregation order is fixed by cell index, not completion order —
 //     paper-layout output is bit-identical at any worker count.
 //   - Bounded resources. The pool never exceeds its worker count, and
-//     the trace cache is two-tiered under explicit space control: the
+//     the trace cache is tiered under explicit space control: the
 //     memory tier never exceeds its byte budget (reservations are taken
 //     under the cache lock before bytes are buffered, so concurrent
 //     captures cannot transiently hold multiples of the budget), and a
@@ -26,6 +26,14 @@
 //     either limit retroactively repairs earlier declines. Corrupt or
 //     torn spill files are detected by frame checksum on every replay
 //     and transparently re-captured.
+//
+// On top of the two encoded tiers sits the decoded-block cache
+// (blocks.go): the first replay of a key decodes its bytes once into
+// immutable []trace.Event blocks — charged against the same byte budget —
+// and every later replay walks the shared blocks instead of re-decoding.
+// ReplayAll fuses a whole configuration sweep into one pass over those
+// blocks: M sinks cost one decode, and per-block class masks skip sinks
+// that consume none of a block's events.
 package engine
 
 import (
@@ -74,12 +82,19 @@ const (
 )
 
 // traceEntry is one cache slot. All fields are guarded by Engine.mu; the
-// data slice is immutable once the entry reaches stateMemory.
+// data slice is immutable once the entry reaches stateMemory, and the
+// blocks slice (the decoded-block tier, blocks.go) is immutable once
+// published — concurrent replays share it read-only.
 type traceEntry struct {
 	state  entryState
 	data   []byte // stateMemory: encoded v2 trace
 	events uint64
 	path   string // stateDisk: spill file
+
+	// Decoded-block tier: the stream decoded once into event blocks.
+	blocks     []traceBlock
+	blockBytes int64 // bytes blocks charge against the budget
+	blockBusy  bool  // one goroutine is decoding; others use the byte path
 
 	// Conditions observed when the entry was declined. The entry
 	// re-arms when either improves (budget grew, spill tier appeared).
@@ -105,7 +120,10 @@ type Engine struct {
 	cond       *sync.Cond // broadcast when an entry leaves stateInflight
 	cacheLimit int64
 	used       int64 // bytes held by stateMemory entries
-	reserved   int64 // bytes reserved by in-flight captures; used+reserved <= cacheLimit
+	blockBytes int64 // bytes held by decoded-block tiers of all entries
+	reserved   int64 // bytes reserved by in-flight captures and decodes;
+	// used+blockBytes+reserved <= cacheLimit
+	blockCache bool // decoded-block tier enabled (default true)
 	spillDir   string
 	traces     map[string]*traceEntry
 
@@ -113,6 +131,8 @@ type Engine struct {
 	captures   atomic.Uint64 // workload executions performed
 	replays    atomic.Uint64 // cache replays served (both tiers)
 	recaptures atomic.Uint64 // spill files invalidated by checksum and re-captured
+	decodeHits atomic.Uint64 // replays served from shared decoded blocks
+	replayedEv atomic.Uint64 // events delivered by cache replays
 }
 
 // New builds an engine with the given worker count (<= 0 selects
@@ -124,6 +144,7 @@ func New(workers int) *Engine {
 	e := &Engine{
 		workers:    workers,
 		cacheLimit: DefaultCacheBytes,
+		blockCache: true,
 		traces:     make(map[string]*traceEntry),
 	}
 	e.cond = sync.NewCond(&e.mu)
@@ -164,6 +185,24 @@ func (e *Engine) TraceDir() string {
 	return e.spillDir
 }
 
+// SetBlockCache enables or disables the decoded-block tier (on by
+// default). With the tier off every replay decodes the encoded bytes —
+// the ablation baseline the block benchmarks compare against. Disabling
+// the tier releases blocks already decoded.
+func (e *Engine) SetBlockCache(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.blockCache = on
+	if !on {
+		for _, ent := range e.traces {
+			if ent.blocks != nil {
+				e.blockBytes -= ent.blockBytes
+				ent.blocks, ent.blockBytes = nil, 0
+			}
+		}
+	}
+}
+
 // Close removes the engine's spill files. The engine stays usable —
 // spilled entries revert to stateEmpty and would be re-captured — but
 // Close is meant for the end of a run, after all cells have finished.
@@ -175,6 +214,12 @@ func (e *Engine) Close() error {
 			paths = append(paths, ent.path)
 			ent.state = stateEmpty
 			ent.path = ""
+			// The entry will re-capture if used again; blocks decoded
+			// from the removed file must not shadow the fresh capture.
+			if ent.blocks != nil {
+				e.blockBytes -= ent.blockBytes
+				ent.blocks, ent.blockBytes = nil, 0
+			}
 		}
 	}
 	e.mu.Unlock()
@@ -220,6 +265,28 @@ func (e *Engine) CachedBytes() int64 {
 	return e.used
 }
 
+// DecodedEntries returns the number of cache entries holding decoded
+// blocks.
+func (e *Engine) DecodedEntries() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, ent := range e.traces {
+		if ent.blocks != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// DecodedBlockBytes returns the budget bytes held by the decoded-block
+// tier across all entries.
+func (e *Engine) DecodedBlockBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.blockBytes
+}
+
 // Captures returns how many workload executions the engine has performed
 // (cache misses plus declined-to-store re-runs).
 func (e *Engine) Captures() uint64 { return e.captures.Load() }
@@ -231,6 +298,14 @@ func (e *Engine) Replays() uint64 { return e.replays.Load() }
 // Recaptures returns how many spill files failed checksum verification
 // and were invalidated for transparent re-capture.
 func (e *Engine) Recaptures() uint64 { return e.recaptures.Load() }
+
+// DecodeOnceHits returns how many cache replays were served from shared
+// decoded blocks rather than by re-decoding encoded bytes.
+func (e *Engine) DecodeOnceHits() uint64 { return e.decodeHits.Load() }
+
+// ReplayedEvents returns the total events delivered by cache replays
+// (fused replays count their stream once, not once per sink).
+func (e *Engine) ReplayedEvents() uint64 { return e.replayedEv.Load() }
 
 // Map runs cell(0..n-1) across the worker pool and returns when all
 // cells have finished. Cells must be independent: each writes only its
@@ -336,33 +411,87 @@ const maxSpillAttempts = 3
 // that fails checksum verification is removed and transparently
 // re-captured before anything reaches the sink.
 func (e *Engine) Replay(key string, capture CaptureFunc, sink trace.Sink) (uint64, error) {
+	return e.ReplayAll(key, capture, []trace.Sink{sink})
+}
+
+// ReplayAll feeds key's operand stream into every sink in one fused pass
+// and returns the event count: M configuration sinks cost one decode of
+// the stream, not M. The first fused replay of a key decodes its bytes
+// into the shared decoded-block tier (budget permitting) and later
+// replays of the key — fused or not — walk the blocks read-only; blocks
+// whose events all fall outside a sink's advertised class mask skip that
+// sink entirely. Every sink observes the exact event sequence a serial
+// Replay would deliver it.
+func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) (uint64, error) {
+	if len(sinks) == 0 {
+		return 0, nil
+	}
+	var fanout trace.Sink
+	if len(sinks) == 1 {
+		fanout = sinks[0]
+	} else {
+		fanout = trace.Multi(sinks)
+	}
 	for attempt := 1; ; attempt++ {
 		snap := e.ensure(key, capture)
 		switch snap.state {
 		case stateDeclined:
 			e.captures.Add(1)
-			cs := &countingSink{next: sink}
+			cs := &countingSink{next: fanout}
 			captureMu.Lock()
 			capture(cs)
 			captureMu.Unlock()
 			return cs.n, nil
 
 		case stateMemory:
-			e.replays.Add(1)
+			blocks, err := e.blocksFor(key, snap)
+			if err != nil {
+				// The memory tier holds bytes our own writer encoded;
+				// failing to decode them is a programming error.
+				return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
+			}
+			if blocks != nil {
+				n := emitBlocks(blocks, sinks, sinkMasks(sinks))
+				e.replays.Add(1)
+				e.replayedEv.Add(n)
+				return n, nil
+			}
+			// No room for blocks: one batched decode pass feeds the
+			// whole fan-out.
 			r, err := trace.NewReader(bytes.NewReader(snap.data))
 			if err != nil {
 				return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
 			}
-			n, err := r.Replay(sink)
+			n, err := r.ReplayBatch(fanout)
 			if err != nil {
 				return n, fmt.Errorf("engine: cached trace %q: %w", key, err)
 			}
 			if n != snap.events {
 				return n, fmt.Errorf("engine: cached trace %q replayed %d of %d events", key, n, snap.events)
 			}
+			e.replays.Add(1)
+			e.replayedEv.Add(n)
 			return n, nil
 
 		case stateDisk:
+			// Decoding into blocks verifies every frame checksum before
+			// any event reaches a sink, so a corrupt spill file detected
+			// here is re-captured transparently, exactly like the
+			// verify-then-replay byte path below.
+			blocks, err := e.blocksFor(key, snap)
+			if err != nil {
+				e.invalidateSpill(key, snap.path)
+				if attempt >= maxSpillAttempts {
+					return 0, fmt.Errorf("engine: spilled trace %q unreadable after %d attempts: %w", key, attempt, err)
+				}
+				continue
+			}
+			if blocks != nil {
+				n := emitBlocks(blocks, sinks, sinkMasks(sinks))
+				e.replays.Add(1)
+				e.replayedEv.Add(n)
+				return n, nil
+			}
 			// Verify every frame checksum before the first event is
 			// emitted: a corrupt or torn file must be caught while the
 			// sink is still untouched, so re-capturing stays
@@ -374,7 +503,7 @@ func (e *Engine) Replay(key string, capture CaptureFunc, sink trace.Sink) (uint6
 				}
 				continue
 			}
-			n, err := e.replaySpill(snap, sink)
+			n, err := e.replaySpill(snap, fanout)
 			if err != nil {
 				// Post-verification failure (the file changed under
 				// us): the sink has seen partial events, so a silent
@@ -383,6 +512,7 @@ func (e *Engine) Replay(key string, capture CaptureFunc, sink trace.Sink) (uint6
 				return n, fmt.Errorf("engine: spilled trace %q: %w", key, err)
 			}
 			e.replays.Add(1)
+			e.replayedEv.Add(n)
 			return n, nil
 		}
 	}
@@ -417,7 +547,7 @@ func (e *Engine) replaySpill(snap entrySnapshot, sink trace.Sink) (uint64, error
 	if err != nil {
 		return 0, err
 	}
-	n, err := r.Replay(sink)
+	n, err := r.ReplayBatch(sink)
 	if err != nil {
 		return n, err
 	}
@@ -437,6 +567,10 @@ func (e *Engine) invalidateSpill(key, path string) {
 		ent.state = stateEmpty
 		ent.path = ""
 		ent.events = 0
+		if ent.blocks != nil {
+			e.blockBytes -= ent.blockBytes
+			ent.blocks, ent.blockBytes = nil, 0
+		}
 		e.recaptures.Add(1)
 	}
 	e.mu.Unlock()
@@ -522,4 +656,10 @@ type countingSink struct {
 func (c *countingSink) Emit(ev trace.Event) {
 	c.n++
 	c.next.Emit(ev)
+}
+
+// EmitBatch implements trace.BatchSink.
+func (c *countingSink) EmitBatch(evs []trace.Event) {
+	c.n += uint64(len(evs))
+	trace.EmitAll(c.next, evs)
 }

@@ -54,7 +54,7 @@ func (a *captureArm) reserve(n int64) bool {
 	e := a.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.used+e.reserved+n > e.cacheLimit {
+	if e.used+e.blockBytes+e.reserved+n > e.cacheLimit {
 		return false
 	}
 	e.reserved += n

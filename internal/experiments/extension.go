@@ -116,6 +116,17 @@ func (s recipSink) Emit(ev trace.Event) {
 	}
 }
 
+// EmitBatch implements trace.BatchSink.
+func (s recipSink) EmitBatch(evs []trace.Event) {
+	for _, ev := range evs {
+		s.Emit(ev)
+	}
+}
+
+// OpMask implements trace.OpMasker: the cache sees divisions only, so
+// fused replays skip division-free blocks entirely.
+func (s recipSink) OpMask() trace.OpMask { return trace.MaskOf(isa.OpFDiv) }
+
 // ExtensionRecip compares the MEMO-TABLE against the Oberman/Flynn
 // reciprocal-cache baseline at identical geometry (32 entries, 4-way) on
 // the speedup-study applications.

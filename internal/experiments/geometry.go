@@ -9,6 +9,7 @@ import (
 	"memotable/internal/memo"
 	"memotable/internal/report"
 	"memotable/internal/stats"
+	"memotable/internal/trace"
 	"memotable/internal/workloads"
 )
 
@@ -69,9 +70,11 @@ func Figure4(eng *engine.Engine, scale Scale) *GeometryResult {
 }
 
 // sweep measures the five sample applications across all configurations:
-// each application's inputs are captured once across the pool, then every
-// (application × configuration) cell replays the recorded streams into
-// its own table set. One TableSet per (app, config), shared across that
+// each application's inputs are captured once across the pool, then one
+// cell per application replays each input's recorded stream a single time
+// into every configuration's table set at once (a fused multi-config
+// replay), instead of re-decoding the stream per (application ×
+// configuration) cell. One TableSet per (app, config), shared across that
 // app's inputs (the paper's averages are across the applications at each
 // size).
 func sweep(eng *engine.Engine, title, xName string, cfgs []memo.Config, scale Scale) *GeometryResult {
@@ -95,16 +98,17 @@ func sweep(eng *engine.Engine, title, xName string, cfgs []memo.Config, scale Sc
 	eng.Map(len(flat), func(i int) { eng.Warm(flat[i].key, captureOf(flat[i].run)) })
 
 	perApp := make([][]*TableSet, len(GeometryApps))
-	for a := range perApp {
-		perApp[a] = make([]*TableSet, len(cfgs))
-	}
-	eng.Map(len(GeometryApps)*len(cfgs), func(c int) {
-		a, i := c/len(cfgs), c%len(cfgs)
-		ts := NewTableSet(cfgs[i], memo.NonTrivialOnly)
-		for _, s := range srcs[a] {
-			replayRun(eng, s.key, s.run, ts)
+	eng.Map(len(GeometryApps), func(a int) {
+		sets := make([]*TableSet, len(cfgs))
+		sinks := make([]trace.Sink, len(cfgs))
+		for i, cfg := range cfgs {
+			sets[i] = NewTableSet(cfg, memo.NonTrivialOnly)
+			sinks[i] = sets[i]
 		}
-		perApp[a][i] = ts
+		for _, s := range srcs[a] {
+			replayRun(eng, s.key, s.run, sinks...)
+		}
+		perApp[a] = sets
 	})
 	res := &GeometryResult{Title: title, XName: xName}
 	for i := range cfgs {

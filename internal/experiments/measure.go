@@ -4,12 +4,13 @@
 // experiment index.
 //
 // Every driver runs on an engine.Engine: the evaluation matrix is
-// embarrassingly parallel — each (workload × configuration) cell is
-// independent — so drivers fan their cells across the engine's worker
-// pool and replay each workload's once-captured operand trace instead of
-// re-executing the kernel per configuration. Results land in per-cell
-// slots, so rendered output is bit-identical at any worker count;
-// engine.Serial() gives the reference single-threaded path.
+// embarrassingly parallel across workloads, so drivers fan per-workload
+// cells across the engine's worker pool, and within a cell replay the
+// workload's once-captured operand trace into every configuration's
+// sinks in a single fused pass (engine.ReplayAll) instead of re-decoding
+// it per configuration. Results land in per-cell slots, so rendered
+// output is bit-identical at any worker count; engine.Serial() gives the
+// reference single-threaded path.
 package experiments
 
 import (
@@ -31,14 +32,16 @@ import (
 var MemoOps = []isa.Op{isa.OpIMul, isa.OpFMul, isa.OpFDiv, isa.OpFSqrt}
 
 // TableSet is one simulated system: a MEMO-TABLE per memoizable class,
-// fed from a trace stream.
+// fed from a trace stream. Units are held in a per-class array — the
+// replay loop indexes it once per event, so the dispatch must not cost a
+// map probe.
 type TableSet struct {
-	units map[isa.Op]*memo.Unit
+	units [isa.NumOps]*memo.Unit
 }
 
 // NewTableSet builds identical tables for all MemoOps.
 func NewTableSet(cfg memo.Config, policy memo.TrivialPolicy) *TableSet {
-	ts := &TableSet{units: make(map[isa.Op]*memo.Unit, len(MemoOps))}
+	ts := &TableSet{}
 	for _, op := range MemoOps {
 		ts.units[op] = memo.NewUnit(memo.New(op, cfg), policy, nil)
 	}
@@ -47,10 +50,24 @@ func NewTableSet(cfg memo.Config, policy memo.TrivialPolicy) *TableSet {
 
 // Emit implements trace.Sink: memoizable events exercise their table.
 func (ts *TableSet) Emit(ev trace.Event) {
-	if u, ok := ts.units[ev.Op]; ok {
+	if u := ts.units[ev.Op]; u != nil {
 		u.Apply(ev.A, ev.B)
 	}
 }
+
+// EmitBatch implements trace.BatchSink: one interface dispatch per decoded
+// block instead of one per event.
+func (ts *TableSet) EmitBatch(evs []trace.Event) {
+	for _, ev := range evs {
+		if u := ts.units[ev.Op]; u != nil {
+			u.Apply(ev.A, ev.B)
+		}
+	}
+}
+
+// OpMask implements trace.OpMasker: only memoizable classes reach the
+// tables, so fused replays skip blocks carrying none of them.
+func (ts *TableSet) OpMask() trace.OpMask { return trace.MaskOf(MemoOps...) }
 
 // Unit returns the unit for one class.
 func (ts *TableSet) Unit(op isa.Op) *memo.Unit { return ts.units[op] }
@@ -135,16 +152,11 @@ func appRunner(app workloads.App, input string, scale Scale) Runner {
 }
 
 // replayRun streams the workload's trace — captured at most once per
-// engine — into the given sinks. Capture failures are programming errors
-// (an engine-cached trace is produced by our own Writer), so they panic.
+// engine — into the given sinks in one fused pass over the decoded
+// stream. Capture failures are programming errors (an engine-cached trace
+// is produced by our own Writer), so they panic.
 func replayRun(eng *engine.Engine, key string, run Runner, sinks ...trace.Sink) {
-	var sink trace.Sink
-	if len(sinks) == 1 {
-		sink = sinks[0]
-	} else {
-		sink = trace.Multi(sinks)
-	}
-	if _, err := eng.Replay(key, captureOf(run), sink); err != nil {
+	if _, err := eng.ReplayAll(key, captureOf(run), sinks); err != nil {
 		panic(err)
 	}
 }

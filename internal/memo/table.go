@@ -184,32 +184,40 @@ func normalFinite(x float64) bool {
 }
 
 // probe looks the key up (both operand orders for commutative classes) and
-// updates recency on a hit.
+// updates recency on a hit. The swapped key is derived only after the
+// presented order misses, keeping the common first-probe hit free of it.
 func (t *Table) probe(key tagKey) (stored, bool) {
-	keys := [2]tagKey{key, {key.b, key.a}}
-	n := 1
-	if t.op.Commutative() && !t.cfg.NoCommutativeLookup && key.a != key.b {
-		n = 2
+	if st, ok := t.probeOne(key); ok {
+		return st, true
 	}
+	if t.op.Commutative() && !t.cfg.NoCommutativeLookup && key.a != key.b {
+		return t.probeOne(tagKey{key.b, key.a})
+	}
+	return stored{}, false
+}
+
+// probeOne looks up one tag in its set.
+func (t *Table) probeOne(key tagKey) (stored, bool) {
 	if t.inf != nil {
-		for i := 0; i < n; i++ {
-			if st, ok := t.inf[keys[i]]; ok {
-				return st, true
-			}
+		st, ok := t.inf[key]
+		return st, ok
+	}
+	set := t.sets[t.index(key)]
+	if t.ways == 1 {
+		// Direct-mapped: single compare, no recency state to maintain.
+		if set[0].valid && set[0].tag == key {
+			return set[0].stored, true
 		}
 		return stored{}, false
 	}
-	for i := 0; i < n; i++ {
-		set := t.sets[t.index(keys[i])]
-		for w := range set {
-			if set[w].valid && set[w].tag == keys[i] {
-				st := set[w].stored
-				// Move to front: MRU ordering implements LRU eviction.
-				e := set[w]
-				copy(set[1:w+1], set[:w])
-				set[0] = e
-				return st, true
-			}
+	for w := range set {
+		if set[w].valid && set[w].tag == key {
+			st := set[w].stored
+			// Move to front: MRU ordering implements LRU eviction.
+			e := set[w]
+			copy(set[1:w+1], set[:w])
+			set[0] = e
+			return st, true
 		}
 	}
 	return stored{}, false
@@ -228,11 +236,12 @@ func (t *Table) insert(key tagKey, a, b, result uint64) {
 		return
 	}
 	set := t.sets[t.index(key)]
-	last := len(set) - 1
-	if set[last].valid {
+	if set[len(set)-1].valid {
 		t.stats.Evictions++
 	}
-	copy(set[1:], set[:last])
+	if t.ways > 1 {
+		copy(set[1:], set[:len(set)-1])
+	}
 	set[0] = entry{tag: key, stored: st, valid: true}
 }
 

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"memotable/internal/isa"
+)
+
+// encodeV1 runs events through the v1 Writer and returns the wire bytes.
+func encodeV1(t testing.TB, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// plainRecorder records events without implementing BatchSink, so batch
+// producers must go through the per-event adapter path for it.
+type plainRecorder struct {
+	events []Event
+}
+
+func (p *plainRecorder) Emit(ev Event) { p.events = append(p.events, ev) }
+
+// batchRecorder records events and the block sizes they arrived in.
+type batchRecorder struct {
+	events  []Event
+	batches []int
+}
+
+func (b *batchRecorder) Emit(ev Event) { b.events = append(b.events, ev) }
+func (b *batchRecorder) EmitBatch(evs []Event) {
+	b.events = append(b.events, evs...)
+	b.batches = append(b.batches, len(evs))
+}
+
+// encodings returns every wire format a trace can take.
+func encodings(t *testing.T, events []Event) map[string][]byte {
+	t.Helper()
+	return map[string][]byte{
+		"v1":           encodeV1(t, events),
+		"v2":           encodeV2(t, events, false),
+		"v2compressed": encodeV2(t, events, true),
+	}
+}
+
+// TestReplayBatchMatchesReplay pins the batched decoder to the per-event
+// one: for every format version, ReplayBatch must deliver the exact event
+// sequence Replay delivers — through EmitBatch for batch-aware sinks and
+// through the Emit adapter for plain sinks.
+func TestReplayBatchMatchesReplay(t *testing.T) {
+	events := randomEvents(60000, 41)
+	for name, data := range encodings(t, events) {
+		t.Run(name, func(t *testing.T) {
+			want := decodeAll(t, data)
+			if !reflect.DeepEqual(want, events) {
+				t.Fatalf("per-event replay diverged from source events")
+			}
+
+			r, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var br batchRecorder
+			n, err := r.ReplayBatch(&br)
+			if err != nil {
+				t.Fatalf("ReplayBatch: %v", err)
+			}
+			if n != uint64(len(events)) {
+				t.Fatalf("ReplayBatch count %d, want %d", n, len(events))
+			}
+			if len(br.batches) == 0 {
+				t.Fatal("batch sink never received an EmitBatch call")
+			}
+			if !reflect.DeepEqual(br.events, want) {
+				t.Fatal("batched replay diverged from per-event replay")
+			}
+
+			r2, err := NewReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pr plainRecorder
+			if _, err := r2.ReplayBatch(&pr); err != nil {
+				t.Fatalf("ReplayBatch (plain sink): %v", err)
+			}
+			if !reflect.DeepEqual(pr.events, want) {
+				t.Fatal("adapter path diverged from per-event replay")
+			}
+		})
+	}
+}
+
+// TestReadBatchResumesMidFrame drives ReadBatch with a capacity that does
+// not divide the v2 frame's event count, so batches straddle frame
+// boundaries, and checks the reassembled stream.
+func TestReadBatchResumesMidFrame(t *testing.T) {
+	events := randomEvents(30000, 7)
+	data := encodeV2(t, events, false)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Event, 0, 777)
+	var got []Event
+	for {
+		batch, err := r.ReadBatch(buf)
+		if err != nil {
+			break
+		}
+		got = append(got, batch...)
+		buf = batch
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("mid-frame resumed stream diverged (%d events, want %d)", len(got), len(events))
+	}
+}
+
+// TestReplayBatchCorruption checks that a corrupt v2 stream fails the
+// batched decoder exactly as it fails the per-event one: with ErrBadTrace
+// and with only verified frames' events delivered.
+func TestReplayBatchCorruption(t *testing.T) {
+	events := randomEvents(60000, 9)
+	data := encodeV2(t, events, false)
+	data[len(data)/2] ^= 0x40 // flip a bit in some frame payload
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var per Recorder
+	_, perErr := r.Replay(&per)
+
+	r2, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bat batchRecorder
+	_, batErr := r2.ReplayBatch(&bat)
+
+	if (perErr == nil) != (batErr == nil) {
+		t.Fatalf("error disagreement: per-event %v, batch %v", perErr, batErr)
+	}
+	if !reflect.DeepEqual(bat.events, per.Events) {
+		t.Fatalf("delivered prefixes diverge: %d batch events vs %d per-event",
+			len(bat.events), len(per.Events))
+	}
+}
+
+// TestMultiBatchFanOut checks the batched fan-out reaches both batch-aware
+// and plain sinks with the same stream.
+func TestMultiBatchFanOut(t *testing.T) {
+	events := randomEvents(5000, 3)
+	var br batchRecorder
+	var pr plainRecorder
+	m := Multi{&br, &pr}
+	EmitAll(m, events)
+	if !reflect.DeepEqual(br.events, events) || !reflect.DeepEqual(pr.events, events) {
+		t.Fatal("batched fan-out diverged from the input block")
+	}
+	if len(br.batches) != 1 {
+		t.Fatalf("batch-aware sink saw %d calls, want 1", len(br.batches))
+	}
+}
+
+// TestFilterBatch checks batched filtering keeps exactly the per-event
+// filter's stream, preserving order.
+func TestFilterBatch(t *testing.T) {
+	events := randomEvents(5000, 5)
+	var want Recorder
+	perEvent := NewFilter(&want, isa.OpFMul, isa.OpFDiv)
+	for _, ev := range events {
+		perEvent.Emit(ev)
+	}
+
+	var got batchRecorder
+	batched := NewFilter(&got, isa.OpFMul, isa.OpFDiv)
+	// Deliver in uneven blocks to exercise scratch reuse.
+	for i := 0; i < len(events); {
+		end := i + 100 + i%37
+		if end > len(events) {
+			end = len(events)
+		}
+		batched.EmitBatch(events[i:end])
+		i = end
+	}
+	if !reflect.DeepEqual(got.events, want.Events) {
+		t.Fatal("batched filter diverged from per-event filter")
+	}
+}
+
+// TestCounterBatch checks the batched tally equals the per-event one.
+func TestCounterBatch(t *testing.T) {
+	events := randomEvents(5000, 13)
+	var per, bat Counter
+	for _, ev := range events {
+		per.Emit(ev)
+	}
+	bat.EmitBatch(events)
+	if per.Counts != bat.Counts {
+		t.Fatal("batched counter diverged from per-event counter")
+	}
+}
+
+// TestOpMasks pins the short-circuit query: filters advertise their kept
+// classes intersected with downstream, fan-outs the union, and unknown
+// sinks everything.
+func TestOpMasks(t *testing.T) {
+	var c Counter // no mask: consumes everything
+	if SinkMask(&c) != MaskAll {
+		t.Fatal("maskless sink must advertise MaskAll")
+	}
+	f := NewFilter(&c, isa.OpFMul, isa.OpFDiv)
+	if m := SinkMask(f); m != MaskOf(isa.OpFMul, isa.OpFDiv) {
+		t.Fatalf("filter mask %b", m)
+	}
+	// A filter stacked on a filter intersects.
+	outer := NewFilter(f, isa.OpFDiv, isa.OpIMul)
+	if m := SinkMask(outer); m != MaskOf(isa.OpFDiv) {
+		t.Fatalf("stacked filter mask %b", m)
+	}
+	// A fan-out unions.
+	multi := Multi{f, NewFilter(&c, isa.OpIMul)}
+	if m := SinkMask(multi); m != MaskOf(isa.OpFMul, isa.OpFDiv, isa.OpIMul) {
+		t.Fatalf("multi mask %b", m)
+	}
+	if !MaskOf(isa.OpFMul).Has(isa.OpFMul) || MaskOf(isa.OpFMul).Has(isa.OpFDiv) {
+		t.Fatal("OpMask.Has misreports membership")
+	}
+}

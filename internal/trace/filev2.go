@@ -266,6 +266,56 @@ func (r *Reader) nextV2() (Event, error) {
 	return Event{Op: isa.Op(opByte), A: a, B: b}, nil
 }
 
+// readBatchV2 fills dst from the current frame in one tight loop, pulling
+// in the next frame when the current one is exhausted. Decoding a whole
+// frame's events without the per-event Next call is what makes block
+// replay cheaper than event replay even before batch fan-out: the frame
+// bounds are checked once and the varint decoder runs over one contiguous
+// buffer.
+func (r *Reader) readBatchV2(dst []Event) ([]Event, error) {
+	for len(dst) < cap(dst) {
+		for r.fEvents == 0 {
+			if err := r.readFrame(); err != nil {
+				if err == io.EOF && len(dst) > 0 {
+					return dst, nil
+				}
+				if err == io.EOF {
+					return nil, io.EOF
+				}
+				return dst, err
+			}
+		}
+		frame, pos := r.frame, r.fpos
+		for r.fEvents > 0 && len(dst) < cap(dst) {
+			if pos >= len(frame) {
+				r.fpos, r.frame = pos, frame
+				return dst, fmt.Errorf("%w: frame under-delivers its declared events", ErrBadTrace)
+			}
+			opByte := frame[pos]
+			if opByte >= byte(isa.NumOps) {
+				r.fpos = pos
+				return dst, fmt.Errorf("%w: op byte %d", ErrBadTrace, opByte)
+			}
+			a, n := binary.Uvarint(frame[pos+1:])
+			if n <= 0 {
+				r.fpos = pos
+				return dst, fmt.Errorf("%w: operand A varint", ErrBadTrace)
+			}
+			pos += 1 + n
+			b, n := binary.Uvarint(frame[pos:])
+			if n <= 0 {
+				return dst, fmt.Errorf("%w: operand B varint", ErrBadTrace)
+			}
+			pos += n
+			dst = append(dst, Event{Op: isa.Op(opByte), A: a, B: b})
+			r.fEvents--
+			r.count++
+		}
+		r.fpos = pos
+	}
+	return dst, nil
+}
+
 // Verify scans a trace stream end to end and returns its event count
 // without feeding any sink. For v2 streams only frame headers and
 // checksums are examined — no decompression, no event decoding — so a

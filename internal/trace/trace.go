@@ -71,6 +71,9 @@ func (c *Counter) Reset() { c.Counts = [isa.NumOps]uint64{} }
 type Filter struct {
 	Next Sink
 	Keep [isa.NumOps]bool
+
+	// scratch is the reused compaction block of EmitBatch.
+	scratch []Event
 }
 
 // NewFilter builds a filter passing only ops.

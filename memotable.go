@@ -101,11 +101,14 @@ func NewSharedStriped(op Op, cfg Config, ports, stripes int) *Shared {
 }
 
 // Engine is the parallel experiment engine: a bounded worker pool with a
-// two-tier trace cache that captures each workload once and replays it
-// to every table configuration — from memory within the byte budget
+// tiered trace cache that captures each workload once and replays it to
+// every table configuration — from memory within the byte budget
 // (Engine.SetCacheLimit), from CRC-framed spill files on disk beyond it
-// (Engine.SetTraceDir). Experiment output is bit-identical at any worker
-// count, spill on or off.
+// (Engine.SetTraceDir), and from decoded event blocks shared across
+// replays of the same workload (Engine.SetBlockCache, on by default).
+// Engine.ReplayAll feeds several configurations' sinks in one pass over
+// the stream. Experiment output is bit-identical at any worker count,
+// spill on or off, block cache on or off.
 type Engine = engine.Engine
 
 // CaptureFunc runs a workload, emitting its operand trace into a sink;
@@ -173,7 +176,7 @@ func Replay(r io.Reader, cfg Config, policy TrivialPolicy) (map[Op]Stats, error)
 		return nil, err
 	}
 	set := experiments.NewTableSet(cfg, policy)
-	if _, err := tr.Replay(set); err != nil {
+	if _, err := tr.ReplayBatch(set); err != nil {
 		return nil, err
 	}
 	out := make(map[Op]Stats)
