@@ -426,10 +426,39 @@ func benchMatrix(b *testing.B, workers int, configure func(b *testing.B, eng *me
 
 // BenchmarkEvaluationMatrixCached is the baseline: every capture fits
 // the default memory budget, the decoded-block tier is on, and the
-// drivers replay each workload in fused multi-config passes.
+// drivers replay each workload in fused multi-config passes — but each
+// experiment still runs as its own invocation, so a workload shared by
+// several experiments is replayed once per experiment.
 func BenchmarkEvaluationMatrixCached(b *testing.B) {
 	benchMatrix(b, 8, func(*testing.B, *memotable.Engine) {})
 }
+
+// benchFusedMatrix runs the whole registry through one planned
+// memotable.Run pass per iteration: the cross-experiment planner
+// captures each demanded workload once and replays it once, feeding
+// every subscribed experiment's sinks together.
+func benchFusedMatrix(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng := memotable.NewEngine(workers)
+		b.StartTimer()
+		if _, err := memotable.Run(eng, memotable.Tiny); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		eng.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkEvaluationMatrixFused is the planner path at 8 workers;
+// compare against BenchmarkEvaluationMatrixCached, which runs the same
+// matrix one experiment at a time.
+func BenchmarkEvaluationMatrixFused(b *testing.B) { benchFusedMatrix(b, 8) }
+
+// BenchmarkEvaluationMatrixFused1Worker is the planner path single
+// threaded; compare against BenchmarkEvaluationMatrix1Worker.
+func BenchmarkEvaluationMatrixFused1Worker(b *testing.B) { benchFusedMatrix(b, 1) }
 
 // BenchmarkEvaluationMatrixNoBlockCache ablates the decoded-block tier:
 // every fused replay re-decodes the workload's encoded bytes.

@@ -1,10 +1,16 @@
 // Command memosim reproduces the paper's evaluation: it runs any (or all)
-// of the tables and figures of §3 and prints them in the paper's layout.
+// of the registered tables and figures of §3 and prints them in the
+// paper's layout, or as JSON.
 //
 // Usage:
 //
+//	memosim -list
 //	memosim [-scale tiny|quick|full] [-run all|table5,table6,...|figure4]
-//	        [-parallel N] [-tracedir DIR]
+//	        [-json] [-parallel N] [-tracedir DIR]
+//
+// A -run selection is executed as one planned pass: every workload the
+// selected experiments demand is captured once and replayed once,
+// feeding all their measurement sinks together.
 package main
 
 import (
@@ -21,14 +27,23 @@ import (
 func main() { os.Exit(run()) }
 
 func run() int {
+	listFlag := flag.Bool("list", false, "list the registered experiments and exit")
 	scaleFlag := flag.String("scale", "quick", "input scale: tiny, quick or full")
 	runFlag := flag.String("run", "all", "comma-separated experiments to run: all, or from "+
 		strings.Join(memotable.Experiments(), ", "))
+	jsonFlag := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	parallelFlag := flag.Int("parallel", 0,
 		"experiment engine workers: 1 is serial, 0 selects GOMAXPROCS")
 	traceDirFlag := flag.String("tracedir", filepath.Join(os.TempDir(), "memosim-traces"),
 		"spill directory for operand traces that exceed the in-memory cache budget; empty disables the disk tier")
 	flag.Parse()
+
+	if *listFlag {
+		for _, e := range memotable.AllExperiments() {
+			fmt.Printf("%-18s %s\n", e.Name, e.Title)
+		}
+		return 0
+	}
 
 	var scale memotable.Scale
 	switch *scaleFlag {
@@ -43,22 +58,11 @@ func run() int {
 		return 2
 	}
 
-	// Validate the whole -run list before running anything: an unknown
-	// name in position k must not waste the k-1 experiments before it.
-	names := memotable.Experiments()
+	var names []string
 	if *runFlag != "all" {
-		known := make(map[string]bool, len(names))
-		for _, n := range names {
-			known[n] = true
-		}
 		names = strings.Split(*runFlag, ",")
-		for i, name := range names {
-			names[i] = strings.TrimSpace(name)
-			if !known[names[i]] {
-				fmt.Fprintf(os.Stderr, "memosim: unknown experiment %q (have %s)\n",
-					names[i], strings.Join(memotable.Experiments(), ", "))
-				return 2
-			}
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
 		}
 	}
 
@@ -73,22 +77,44 @@ func run() int {
 	}
 	defer eng.Close()
 
+	// The whole selection runs as one planned pass; the registry reports
+	// every unknown name in the list at once, before running anything.
 	suiteStart := time.Now()
-	for _, name := range names {
-		start := time.Now()
-		out, err := memotable.RunExperimentWith(eng, name, scale)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "memosim:", err)
-			return 2
+	results, err := memotable.Run(eng, scale, names...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memosim:", err)
+		return 2
+	}
+	elapsed := time.Since(suiteStart)
+
+	if *jsonFlag {
+		fmt.Println("[")
+		for i, r := range results {
+			buf, err := memotable.RenderJSON(r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memosim:", err)
+				return 1
+			}
+			sep := ","
+			if i == len(results)-1 {
+				sep = ""
+			}
+			fmt.Printf("%s%s\n", buf, sep)
 		}
-		fmt.Println(out)
-		fmt.Printf("(%s in %v, %d workers)\n\n", name, time.Since(start).Round(time.Millisecond), eng.Workers())
+		fmt.Println("]")
+		return 0
+	}
+
+	for _, r := range results {
+		fmt.Println(memotable.RenderText(r))
+		fmt.Printf("(%s)\n\n", r.Name)
 	}
 
 	// Engine summary: how much the trace cache and the decoded-block tier
 	// saved across the whole invocation.
-	elapsed := time.Since(suiteStart)
 	evs := eng.ReplayedEvents()
+	fmt.Printf("suite: %d experiments in %v, %d workers\n",
+		len(results), elapsed.Round(time.Millisecond), eng.Workers())
 	fmt.Printf("engine: %d captures, %d replays (%d recaptures, %d traces spilled to disk)\n",
 		eng.Captures(), eng.Replays(), eng.Recaptures(), eng.SpilledTraces())
 	fmt.Printf("engine: replayed %d events in %v (%.1fM events/sec)\n",

@@ -2,6 +2,7 @@ package memotable_test
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -51,6 +52,53 @@ func TestExperimentGoldens(t *testing.T) {
 			if out != string(want) {
 				t.Errorf("parallel-engine output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s",
 					out, want)
+			}
+		})
+	}
+}
+
+// TestFusedMatrixGoldens runs the whole registry through one fused
+// memotable.Run pass — at 1 worker and at 8 — and holds every result's
+// text to the same per-experiment goldens. Passing proves the
+// cross-experiment planner changes scheduling only, never results, at
+// any worker count. The fresh engine also witnesses the planner's
+// exactly-once contract across the full matrix: captures == replays,
+// no recaptures.
+func TestFusedMatrixGoldens(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are written by the serial reference engine")
+	}
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng := memotable.NewEngine(workers)
+			results, err := memotable.Run(eng, memotable.Tiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names := memotable.Experiments()
+			if len(results) != len(names) {
+				t.Fatalf("%d results for %d experiments", len(results), len(names))
+			}
+			for i, r := range results {
+				if r.Name != names[i] {
+					t.Fatalf("results[%d].Name = %q, want %q", i, r.Name, names[i])
+				}
+				want, err := os.ReadFile(filepath.Join("testdata", "golden", r.Name+".golden"))
+				if err != nil {
+					t.Fatalf("missing golden (run `go test -run TestExperimentGoldens -update .`): %v", err)
+				}
+				if got := memotable.RenderText(r); got != string(want) {
+					t.Errorf("%s: fused-pass output diverged from the serial golden\n--- got ---\n%s\n--- want ---\n%s",
+						r.Name, got, want)
+				}
+			}
+			if eng.Captures() == 0 || eng.Captures() != eng.Replays() {
+				t.Errorf("fused matrix: captures=%d replays=%d, want equal and nonzero",
+					eng.Captures(), eng.Replays())
+			}
+			if eng.Recaptures() != 0 {
+				t.Errorf("fused matrix: %d recaptures", eng.Recaptures())
 			}
 		})
 	}

@@ -158,13 +158,3 @@ func emitBlocks(blocks []traceBlock, sinks []trace.Sink, masks []trace.OpMask) u
 	}
 	return n
 }
-
-// sinkMasks snapshots each sink's advertised class mask once per replay,
-// so the per-block skip test is a single AND.
-func sinkMasks(sinks []trace.Sink) []trace.OpMask {
-	masks := make([]trace.OpMask, len(sinks))
-	for i, s := range sinks {
-		masks[i] = trace.SinkMask(s)
-	}
-	return masks
-}

@@ -451,7 +451,7 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 				return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
 			}
 			if blocks != nil {
-				n := emitBlocks(blocks, sinks, sinkMasks(sinks))
+				n := emitBlocks(blocks, sinks, trace.SinkMasks(sinks))
 				e.replays.Add(1)
 				e.replayedEv.Add(n)
 				return n, nil
@@ -487,7 +487,7 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 				continue
 			}
 			if blocks != nil {
-				n := emitBlocks(blocks, sinks, sinkMasks(sinks))
+				n := emitBlocks(blocks, sinks, trace.SinkMasks(sinks))
 				e.replays.Add(1)
 				e.replayedEv.Add(n)
 				return n, nil

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"memotable/internal/trace"
+)
+
+// The cross-experiment replay planner. A single experiment driver fuses
+// its own configuration sweep into one ReplayAll per workload, but a
+// full evaluation run selects many experiments, and the same workload
+// trace feeds most of them — so driver-local fusion still replays each
+// workload once per experiment. RunPass plans across that boundary: it
+// takes every selected experiment's sink subscriptions at once, groups
+// them by workload, and drives one fused replay pass per workload for
+// the entire selection.
+//
+// The one scheduling constraint comes from stateful sinks: a MEMO-TABLE
+// set that aggregates an application over its inputs must see those
+// inputs' streams back to back, in its declared order. A Subscription
+// therefore carries an *ordered* workload sequence, and the planner
+// replays workloads in an order compatible with every subscription —
+// a topological order of the per-subscription chains. Subscriptions
+// whose sequences disagree (w1 before w2 in one, w2 before w1 in
+// another) have no single-pass schedule; RunPass reports them as an
+// error rather than silently replaying twice.
+
+// PassWorkload names one capturable operand stream for the planner.
+type PassWorkload struct {
+	Key     string
+	Capture CaptureFunc
+}
+
+// Subscription subscribes a group of sinks to an ordered workload
+// sequence: the sinks observe the workloads' streams back to back, in
+// order, exactly as if each workload were replayed for them alone. A
+// sequence must not name the same key twice (that would require two
+// replay passes by definition). Sinks must be comparable values —
+// pointers or pointer-shaped structs, as every experiment sink is — so
+// the planner can detect a sink shared between subscriptions.
+type Subscription struct {
+	Sinks     []trace.Sink
+	Workloads []PassWorkload
+}
+
+// passNode is one distinct workload in a pass: its capture, the sink
+// groups subscribed to it (in subscription order), and its scheduling
+// edges (indegree plus successors from per-subscription chains).
+type passNode struct {
+	key     string
+	capture CaptureFunc
+	groups  [][]trace.Sink
+	indeg   int
+	succ    []int
+	done    bool
+}
+
+// RunPass replays every workload named by the subscriptions exactly
+// once, feeding all subscribed sinks in one fused ReplayAll per
+// workload. Workloads are first warmed (captured) across the worker
+// pool; replays then run with independent workload chains in parallel —
+// two workloads replay concurrently only when no subscription (and no
+// shared sink) connects them, so every sink observes exactly its
+// declared stream sequence and results are bit-identical at any worker
+// count.
+func (e *Engine) RunPass(subs []Subscription) error {
+	ids := make(map[string]int)
+	var nodes []*passNode
+	nodeOf := func(w PassWorkload) (int, error) {
+		if w.Key == "" {
+			return 0, fmt.Errorf("engine: pass workload with empty key")
+		}
+		id, ok := ids[w.Key]
+		if !ok {
+			id = len(nodes)
+			ids[w.Key] = id
+			nodes = append(nodes, &passNode{key: w.Key, capture: w.Capture})
+		}
+		return id, nil
+	}
+
+	// Union-find over nodes: workloads joined by a subscription (or by a
+	// sharing a sink) must replay sequentially relative to each other;
+	// disjoint chains may run in parallel.
+	var parent []int
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	sinkHome := make(map[trace.Sink]int)
+	for _, sub := range subs {
+		seen := make(map[string]bool, len(sub.Workloads))
+		prev := -1
+		for _, w := range sub.Workloads {
+			if seen[w.Key] {
+				return fmt.Errorf("engine: subscription names workload %q twice", w.Key)
+			}
+			seen[w.Key] = true
+			id, err := nodeOf(w)
+			if err != nil {
+				return err
+			}
+			for len(parent) <= id {
+				parent = append(parent, len(parent))
+			}
+			nodes[id].groups = append(nodes[id].groups, sub.Sinks)
+			if prev >= 0 {
+				nodes[prev].succ = append(nodes[prev].succ, id)
+				nodes[id].indeg++
+				union(prev, id)
+			}
+			prev = id
+			// A sink shared between subscriptions joins their chains:
+			// parallel components must never feed the same sink.
+			for _, s := range sub.Sinks {
+				if home, ok := sinkHome[s]; ok {
+					union(home, id)
+				} else {
+					sinkHome[s] = id
+				}
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+
+	// Warm phase: every capture runs (once, singleflighted) before any
+	// replay, so the replay fan-out never stalls a chain on a capture.
+	e.Map(len(nodes), func(i int) { e.Warm(nodes[i].key, nodes[i].capture) })
+
+	// Group nodes into components, ordered by their smallest node id so
+	// the schedule is deterministic.
+	compOf := make(map[int][]int)
+	for id := range nodes {
+		root := find(id)
+		compOf[root] = append(compOf[root], id)
+	}
+	roots := make([]int, 0, len(compOf))
+	for root := range compOf {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+
+	errs := make([]error, len(roots))
+	e.Map(len(roots), func(ci int) {
+		errs[ci] = e.runComponent(nodes, compOf[roots[ci]])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runComponent replays one connected component's workloads in a
+// topological order of the subscription chains (Kahn's algorithm with a
+// smallest-id tie break, so the order is deterministic).
+func (e *Engine) runComponent(nodes []*passNode, comp []int) error {
+	sort.Ints(comp)
+	remaining := len(comp)
+	for remaining > 0 {
+		picked := -1
+		for _, id := range comp {
+			n := nodes[id]
+			if !n.done && n.indeg == 0 {
+				picked = id
+				break
+			}
+		}
+		if picked < 0 {
+			stuck := make([]string, 0, remaining)
+			for _, id := range comp {
+				if !nodes[id].done {
+					stuck = append(stuck, nodes[id].key)
+				}
+			}
+			return fmt.Errorf("engine: subscriptions order workloads inconsistently (no single-pass schedule for %v)", stuck)
+		}
+		n := nodes[picked]
+		sinks := trace.Flatten(n.groups...)
+		if _, err := e.ReplayAll(n.key, n.capture, sinks); err != nil {
+			return err
+		}
+		n.done = true
+		remaining--
+		for _, s := range n.succ {
+			nodes[s].indeg--
+		}
+	}
+	return nil
+}

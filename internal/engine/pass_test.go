@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"memotable/internal/isa"
+	"memotable/internal/trace"
+)
+
+// passCapture synthesizes a small distinguishable stream: n fmul events
+// whose A operand carries the tag.
+func passCapture(tag uint64, n int) CaptureFunc {
+	return func(s trace.Sink) {
+		for i := 0; i < n; i++ {
+			s.Emit(trace.Event{Op: isa.OpFMul, A: tag, B: uint64(i)})
+		}
+	}
+}
+
+// tagsOf lists the distinct A tags in recorder order, collapsing runs.
+func tagsOf(rec *trace.Recorder) []uint64 {
+	var tags []uint64
+	for _, ev := range rec.Events {
+		if len(tags) == 0 || tags[len(tags)-1] != ev.A {
+			tags = append(tags, ev.A)
+		}
+	}
+	return tags
+}
+
+func TestRunPassOrdersAndFusesReplays(t *testing.T) {
+	e := New(4)
+	recAB := &trace.Recorder{}
+	recB := &trace.Recorder{}
+	recC := &trace.Recorder{}
+	wA := PassWorkload{Key: "A", Capture: passCapture(1, 10)}
+	wB := PassWorkload{Key: "B", Capture: passCapture(2, 20)}
+	wC := PassWorkload{Key: "C", Capture: passCapture(3, 5)}
+	err := e.RunPass([]Subscription{
+		{Sinks: []trace.Sink{recAB}, Workloads: []PassWorkload{wA, wB}},
+		{Sinks: []trace.Sink{recB}, Workloads: []PassWorkload{wB}},
+		{Sinks: []trace.Sink{recC}, Workloads: []PassWorkload{wC}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tagsOf(recAB); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("ordered subscription saw tags %v, want [1 2]", got)
+	}
+	if len(recAB.Events) != 30 {
+		t.Errorf("ordered subscription got %d events, want 30", len(recAB.Events))
+	}
+	if got := tagsOf(recB); len(got) != 1 || got[0] != 2 {
+		t.Errorf("single subscription saw tags %v, want [2]", got)
+	}
+	if len(recC.Events) != 5 {
+		t.Errorf("independent subscription got %d events, want 5", len(recC.Events))
+	}
+	// The whole pass: each workload captured once and replayed once,
+	// however many subscriptions share it.
+	if e.Captures() != 3 || e.Replays() != 3 {
+		t.Errorf("captures=%d replays=%d, want 3 and 3", e.Captures(), e.Replays())
+	}
+	if e.ReplayedEvents() != 35 {
+		t.Errorf("replayed %d events, want 35 (each stream once)", e.ReplayedEvents())
+	}
+}
+
+func TestRunPassRejectsInconsistentOrders(t *testing.T) {
+	e := Serial()
+	r1, r2 := &trace.Recorder{}, &trace.Recorder{}
+	wA := PassWorkload{Key: "A", Capture: passCapture(1, 1)}
+	wB := PassWorkload{Key: "B", Capture: passCapture(2, 1)}
+	err := e.RunPass([]Subscription{
+		{Sinks: []trace.Sink{r1}, Workloads: []PassWorkload{wA, wB}},
+		{Sinks: []trace.Sink{r2}, Workloads: []PassWorkload{wB, wA}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "inconsistently") {
+		t.Fatalf("conflicting orders not rejected: %v", err)
+	}
+}
+
+func TestRunPassRejectsRepeatedWorkload(t *testing.T) {
+	e := Serial()
+	r := &trace.Recorder{}
+	w := PassWorkload{Key: "A", Capture: passCapture(1, 1)}
+	err := e.RunPass([]Subscription{{Sinks: []trace.Sink{r}, Workloads: []PassWorkload{w, w}}})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("repeated workload not rejected: %v", err)
+	}
+}
+
+func TestRunPassSerializesSharedSinkAcrossSubscriptions(t *testing.T) {
+	// Two subscriptions with disjoint workloads but a shared sink must
+	// not feed it from two goroutines: the planner joins their chains.
+	e := New(8)
+	shared := &trace.Recorder{}
+	err := e.RunPass([]Subscription{
+		{Sinks: []trace.Sink{shared}, Workloads: []PassWorkload{{Key: "A", Capture: passCapture(1, 100)}}},
+		{Sinks: []trace.Sink{shared}, Workloads: []PassWorkload{{Key: "B", Capture: passCapture(2, 100)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared.Events) != 200 {
+		t.Fatalf("shared sink got %d events, want 200", len(shared.Events))
+	}
+	// Deterministic schedule: smallest-id workload first.
+	if got := tagsOf(shared); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("shared sink saw tags %v, want [1 2]", got)
+	}
+}
+
+func TestRunPassEmptyAndNoSinks(t *testing.T) {
+	e := Serial()
+	if err := e.RunPass(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunPass([]Subscription{{Workloads: []PassWorkload{{Key: "A", Capture: passCapture(1, 3)}}}}); err != nil {
+		t.Fatal(err)
+	}
+	// A sink-less subscription still warms and replays its workload once
+	// (the stream is decoded and counted, just delivered to nobody).
+	if e.Captures() != 1 {
+		t.Errorf("captures=%d, want 1", e.Captures())
+	}
+}
+
+func TestRunPassConcurrentPasses(t *testing.T) {
+	// Several passes over the same engine (the -race hammer's shape):
+	// the trace cache singleflights captures, each pass owns its sinks.
+	e := New(8)
+	var wg sync.WaitGroup
+	out := make([][]int, 6)
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs := []*trace.Recorder{{}, {}}
+			err := e.RunPass([]Subscription{
+				{Sinks: []trace.Sink{recs[0]}, Workloads: []PassWorkload{
+					{Key: "A", Capture: passCapture(1, 50)},
+					{Key: "B", Capture: passCapture(2, 50)},
+				}},
+				{Sinks: []trace.Sink{recs[1]}, Workloads: []PassWorkload{
+					{Key: "C", Capture: passCapture(3, 50)},
+				}},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[g] = []int{len(recs[0].Events), len(recs[1].Events)}
+		}()
+	}
+	wg.Wait()
+	for g, ns := range out {
+		if len(ns) != 2 || ns[0] != 100 || ns[1] != 50 {
+			t.Errorf("pass %d event counts %v, want [100 50]", g, ns)
+		}
+	}
+	if e.Captures() != 3 {
+		t.Errorf("captures=%d, want 3 (singleflight across passes)", e.Captures())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/report"
+	"memotable/internal/trace"
 	"memotable/internal/workloads"
 )
 
@@ -45,72 +46,91 @@ type Fig2Point struct {
 	FDivRatio   float64
 }
 
-// Table8 runs every Table 7 application over every catalog image it
-// accepts and reports per-image mean hit ratios alongside the image's
-// measured entropies.
-func Table8(eng *engine.Engine, scale Scale) *Table8Result {
-	res := &Table8Result{}
+// planTable8 plans every Table 7 application over every catalog image it
+// accepts: one single-workload demand per (application, image) cell,
+// each with its own 32/4 table set. The entropy-measurement copies are
+// decimated here, in the serial plan phase — image allocation later
+// would race the synthetic address space against captures (captures
+// rewind it to make traces reproducible — see captureOf).
+func planTable8(ctx *Context) ([]Demand, func() *Table8Result) {
 	apps := make([]workloads.App, 0, len(mmTable7Apps))
 	for _, name := range mmTable7Apps {
-		a, err := workloads.Lookup(name)
-		if err != nil {
-			panic(err)
-		}
-		apps = append(apps, a)
+		apps = append(apps, ctx.App(name))
 	}
 	catalog := imaging.Catalog()
-	rows := make([]Table8Row, len(catalog))
-	points := make([][]Fig2Point, len(catalog))
-	// Decimate the entropy-measurement copies before the fan-out: image
-	// allocation inside a cell would race the synthetic address space
-	// against captures running in other cells (captures rewind it to make
-	// traces reproducible — see captureOf).
 	entImgs := make([]*imaging.Image, len(catalog))
 	for ci, in := range catalog {
-		entImgs[ci] = in.Image.Decimate(scale.maxDim())
+		entImgs[ci] = in.Image.Decimate(ctx.MaxDim())
 	}
-	eng.Map(len(catalog), func(ci int) {
-		in := catalog[ci]
-		img := entImgs[ci]
-		var eFull, e16, e8 float64
-		if in.Image.Kind == imaging.Float {
-			eFull, e16, e8 = math.NaN(), math.NaN(), math.NaN()
-		} else {
-			eFull, e16, e8 = img.Entropy(), img.WindowEntropy(16), img.WindowEntropy(8)
-		}
-		var imuls, fmuls, fdivs []float64
+
+	type cell struct {
+		app workloads.App
+		ts  *TableSet
+	}
+	cells := make([][]cell, len(catalog))
+	var demands []Demand
+	for ci, in := range catalog {
 		for _, app := range apps {
 			if !accepts(app, in.Name) {
 				continue
 			}
 			ts := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
-			replayRun(eng, appKey(app.Name, in.Name, scale), appRunner(app, in.Name, scale), ts)
-			im, fm, fd := ts.HitRatio(isa.OpIMul), ts.HitRatio(isa.OpFMul), ts.HitRatio(isa.OpFDiv)
-			imuls = append(imuls, im)
-			fmuls = append(fmuls, fm)
-			fdivs = append(fdivs, fd)
-			points[ci] = append(points[ci], Fig2Point{
-				App: app.Name, Image: in.Name,
-				EntropyFull: eFull, Entropy8: e8,
-				FMulRatio: fm, FDivRatio: fd,
+			cells[ci] = append(cells[ci], cell{app: app, ts: ts})
+			demands = append(demands, Demand{
+				Sinks:     []trace.Sink{ts},
+				Workloads: []Workload{ctx.AppWorkload(app, in.Name)},
 			})
 		}
-		rows[ci] = Table8Row{
-			Name:        in.Name,
-			Size:        fmt.Sprintf("%dx%d", in.Image.W, in.Image.H),
-			Kind:        in.Image.Kind.String(),
-			Bands:       in.Image.Bands,
-			EntropyFull: eFull, Entropy16: e16, Entropy8: e8,
-			IMul: meanIgnoringNaN(imuls),
-			FMul: meanIgnoringNaN(fmuls),
-			FDiv: meanIgnoringNaN(fdivs),
-		}
-	})
-	res.Rows = rows
-	for _, ps := range points {
-		res.Points = append(res.Points, ps...)
 	}
-	return res
+
+	finish := func() *Table8Result {
+		res := &Table8Result{}
+		rows := make([]Table8Row, len(catalog))
+		points := make([][]Fig2Point, len(catalog))
+		ctx.Eng.Map(len(catalog), func(ci int) {
+			in := catalog[ci]
+			img := entImgs[ci]
+			var eFull, e16, e8 float64
+			if in.Image.Kind == imaging.Float {
+				eFull, e16, e8 = math.NaN(), math.NaN(), math.NaN()
+			} else {
+				eFull, e16, e8 = img.Entropy(), img.WindowEntropy(16), img.WindowEntropy(8)
+			}
+			var imuls, fmuls, fdivs []float64
+			for _, c := range cells[ci] {
+				im, fm, fd := c.ts.HitRatio(isa.OpIMul), c.ts.HitRatio(isa.OpFMul), c.ts.HitRatio(isa.OpFDiv)
+				imuls = append(imuls, im)
+				fmuls = append(fmuls, fm)
+				fdivs = append(fdivs, fd)
+				points[ci] = append(points[ci], Fig2Point{
+					App: c.app.Name, Image: in.Name,
+					EntropyFull: eFull, Entropy8: e8,
+					FMulRatio: fm, FDivRatio: fd,
+				})
+			}
+			rows[ci] = Table8Row{
+				Name:        in.Name,
+				Size:        fmt.Sprintf("%dx%d", in.Image.W, in.Image.H),
+				Kind:        in.Image.Kind.String(),
+				Bands:       in.Image.Bands,
+				EntropyFull: eFull, Entropy16: e16, Entropy8: e8,
+				IMul: meanIgnoringNaN(imuls),
+				FMul: meanIgnoringNaN(fmuls),
+				FDiv: meanIgnoringNaN(fdivs),
+			}
+		})
+		res.Rows = rows
+		for _, ps := range points {
+			res.Points = append(res.Points, ps...)
+		}
+		return res
+	}
+	return demands, finish
+}
+
+// Table8 reproduces the image table standalone on the given engine.
+func Table8(eng *engine.Engine, scale Scale) *Table8Result {
+	return runPlan(eng, scale, planTable8)
 }
 
 // accepts reports whether the application's default input list includes
@@ -124,20 +144,24 @@ func accepts(app workloads.App, input string) bool {
 	return false
 }
 
-// Render prints Table 8.
-func (r *Table8Result) Render() string {
-	tab := report.NewTable("Table 8: input images, entropies and mean hit ratios",
+// Result builds Table 8 as a typed table.
+func (r *Table8Result) Result() *report.Result {
+	res := report.NewTableResult("Table 8: input images, entropies and mean hit ratios",
 		"image", "size", "type", "bands", "full", "16x16", "8x8",
 		"imul", "fmul", "fdiv")
 	for _, row := range r.Rows {
-		tab.AddRow(row.Name, row.Size, row.Kind, fmt.Sprintf("%d", row.Bands),
-			report.Fixed(row.EntropyFull, 2),
-			report.Fixed(row.Entropy16, 2),
-			report.Fixed(row.Entropy8, 2),
-			report.Ratio(row.IMul), report.Ratio(row.FMul), report.Ratio(row.FDiv))
+		res.AddRow(report.Str(row.Name), report.Str(row.Size), report.Str(row.Kind),
+			report.Int(int64(row.Bands)),
+			report.FixedCell(row.EntropyFull, 2),
+			report.FixedCell(row.Entropy16, 2),
+			report.FixedCell(row.Entropy8, 2),
+			report.RatioCell(row.IMul), report.RatioCell(row.FMul), report.RatioCell(row.FDiv))
 	}
-	return tab.String()
+	return res
 }
+
+// Render prints Table 8.
+func (r *Table8Result) Render() string { return report.Text(r.Result()) }
 
 // Fig2Fit is one fitted best-fit line of Figure 2: hit ratio as a linear
 // function of entropy, via Marquardt–Levenberg (as the paper fitted).
@@ -155,49 +179,72 @@ type Figure2Result struct {
 	Fits   []Fig2Fit
 }
 
-// Figure2 computes the hit-ratio/entropy relation. The paper observes
-// roughly a 5% hit-ratio decrease per added bit of entropy.
-func Figure2(eng *engine.Engine, scale Scale) *Figure2Result {
-	t8 := Table8(eng, scale)
-	res := &Figure2Result{Points: t8.Points}
-	panels := []struct {
-		label string
-		x     func(Fig2Point) float64
-		y     func(Fig2Point) float64
-	}{
-		{"fdiv vs 8x8 entropy", func(p Fig2Point) float64 { return p.Entropy8 }, func(p Fig2Point) float64 { return p.FDivRatio }},
-		{"fdiv vs full entropy", func(p Fig2Point) float64 { return p.EntropyFull }, func(p Fig2Point) float64 { return p.FDivRatio }},
-		{"fmul vs 8x8 entropy", func(p Fig2Point) float64 { return p.Entropy8 }, func(p Fig2Point) float64 { return p.FMulRatio }},
-		{"fmul vs full entropy", func(p Fig2Point) float64 { return p.EntropyFull }, func(p Fig2Point) float64 { return p.FMulRatio }},
-	}
-	for _, panel := range panels {
-		var xs, ys []float64
-		for _, pt := range t8.Points {
-			x, y := panel.x(pt), panel.y(pt)
-			if math.IsNaN(x) || math.IsNaN(y) {
-				continue
+// planFigure2 plans the hit-ratio/entropy relation: the same demands as
+// Table 8 (its own sinks — when both experiments are selected the
+// planner still replays each workload once, feeding both), with the
+// line fits computed in finish. The paper observes roughly a 5%
+// hit-ratio decrease per added bit of entropy.
+func planFigure2(ctx *Context) ([]Demand, func() *Figure2Result) {
+	demands, t8finish := planTable8(ctx)
+	finish := func() *Figure2Result {
+		t8 := t8finish()
+		res := &Figure2Result{Points: t8.Points}
+		panels := []struct {
+			label string
+			x     func(Fig2Point) float64
+			y     func(Fig2Point) float64
+		}{
+			{"fdiv vs 8x8 entropy", func(p Fig2Point) float64 { return p.Entropy8 }, func(p Fig2Point) float64 { return p.FDivRatio }},
+			{"fdiv vs full entropy", func(p Fig2Point) float64 { return p.EntropyFull }, func(p Fig2Point) float64 { return p.FDivRatio }},
+			{"fmul vs 8x8 entropy", func(p Fig2Point) float64 { return p.Entropy8 }, func(p Fig2Point) float64 { return p.FMulRatio }},
+			{"fmul vs full entropy", func(p Fig2Point) float64 { return p.EntropyFull }, func(p Fig2Point) float64 { return p.FMulRatio }},
+		}
+		for _, panel := range panels {
+			var xs, ys []float64
+			for _, pt := range t8.Points {
+				x, y := panel.x(pt), panel.y(pt)
+				if math.IsNaN(x) || math.IsNaN(y) {
+					continue
+				}
+				xs = append(xs, x)
+				ys = append(ys, y)
 			}
-			xs = append(xs, x)
-			ys = append(ys, y)
+			fit := Fig2Fit{Label: panel.label, Points: len(xs)}
+			if p, _, err := fitting.Levenberg(fitting.Line, xs, ys, []float64{0.5, -0.05}); err == nil {
+				fit.Intercept, fit.Slope = p[0], p[1]
+			} else {
+				fit.Intercept, fit.Slope = math.NaN(), math.NaN()
+			}
+			res.Fits = append(res.Fits, fit)
 		}
-		fit := Fig2Fit{Label: panel.label, Points: len(xs)}
-		if p, _, err := fitting.Levenberg(fitting.Line, xs, ys, []float64{0.5, -0.05}); err == nil {
-			fit.Intercept, fit.Slope = p[0], p[1]
-		} else {
-			fit.Intercept, fit.Slope = math.NaN(), math.NaN()
-		}
-		res.Fits = append(res.Fits, fit)
+		return res
+	}
+	return demands, finish
+}
+
+// Figure2 reproduces the entropy fits standalone on the given engine.
+func Figure2(eng *engine.Engine, scale Scale) *Figure2Result {
+	return runPlan(eng, scale, planFigure2)
+}
+
+// Result builds the fitted lines (the figure's interpretable content) as
+// a typed table.
+func (r *Figure2Result) Result() *report.Result {
+	res := report.NewTableResult("Figure 2: hit ratio vs entropy (Marquardt-Levenberg line fits)",
+		"panel", "points", "intercept", "slope (per bit)")
+	for _, f := range r.Fits {
+		res.AddRow(report.Str(f.Label), report.Int(int64(f.Points)),
+			report.FixedCell(f.Intercept, 3), report.FixedCell(f.Slope, 3))
 	}
 	return res
 }
 
-// Render prints the fitted lines (the figure's interpretable content).
-func (r *Figure2Result) Render() string {
-	tab := report.NewTable("Figure 2: hit ratio vs entropy (Marquardt-Levenberg line fits)",
-		"panel", "points", "intercept", "slope (per bit)")
-	for _, f := range r.Fits {
-		tab.AddRow(f.Label, fmt.Sprintf("%d", f.Points),
-			report.Fixed(f.Intercept, 3), report.Fixed(f.Slope, 3))
-	}
-	return tab.String()
+// Render prints the fitted lines.
+func (r *Figure2Result) Render() string { return report.Text(r.Result()) }
+
+func init() {
+	entropyOps := []isa.Op{isa.OpIMul, isa.OpFMul, isa.OpFDiv}
+	register("table8", "Input images: entropies and mean hit ratios", entropyOps, planTable8)
+	register("figure2", "Hit ratio vs entropy line fits (Marquardt-Levenberg)",
+		[]isa.Op{isa.OpFMul, isa.OpFDiv}, planFigure2)
 }

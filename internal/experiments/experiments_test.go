@@ -9,6 +9,7 @@ import (
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/probe"
+	"memotable/internal/report"
 	"memotable/internal/trace"
 )
 
@@ -64,7 +65,7 @@ func TestMeanIgnoringNaN(t *testing.T) {
 }
 
 func TestTable1Static(t *testing.T) {
-	out := Table1()
+	out := report.Text(Table1())
 	for _, name := range []string{"Pentium Pro", "Alpha 21164", "MIPS R10000",
 		"PPC 604e", "UltraSparc-II", "PA 8000"} {
 		if !strings.Contains(out, name) {
@@ -335,18 +336,22 @@ func TestAmdahlConsistency(t *testing.T) {
 	}
 }
 
-func TestReplayRunFansOut(t *testing.T) {
+func TestReplayFansOut(t *testing.T) {
 	a := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
 	b := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
 	eng := engine.Serial()
-	run := func(p *probe.Probe) { p.FMul(2, 3) }
-	replayRun(eng, "test|fanout", run, a, b)
+	capture := captureOf(func(p *probe.Probe) { p.FMul(2, 3) })
+	if _, err := eng.ReplayAll("test|fanout", capture, []trace.Sink{a, b}); err != nil {
+		t.Fatal(err)
+	}
 	if a.Unit(isa.OpFMul).TotalOps() != 1 || b.Unit(isa.OpFMul).TotalOps() != 1 {
-		t.Fatal("replayRun did not fan out")
+		t.Fatal("fused replay did not fan out")
 	}
 	// The second request must be served from the trace cache, not by a
 	// second workload execution.
-	replayRun(eng, "test|fanout", run, a)
+	if _, err := eng.ReplayAll("test|fanout", capture, []trace.Sink{a}); err != nil {
+		t.Fatal(err)
+	}
 	if eng.Captures() != 1 || eng.Replays() != 2 {
 		t.Fatalf("captures=%d replays=%d, want 1 and 2", eng.Captures(), eng.Replays())
 	}

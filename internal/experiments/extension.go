@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"memotable/internal/cpu"
@@ -10,7 +9,6 @@ import (
 	"memotable/internal/memo"
 	"memotable/internal/report"
 	"memotable/internal/trace"
-	"memotable/internal/workloads"
 )
 
 // The paper's §4 names square root as the first target for extending
@@ -36,53 +34,72 @@ type SqrtResult struct {
 	Rows []SqrtRow
 }
 
-// ExtensionSqrt evaluates MEMO-TABLEs on the square-root unit (latency 17
-// cycles, a digit-recurrence unit's cost at 1 bit/cycle), the paper's
-// first future-work item, with the Table 11 methodology.
-func ExtensionSqrt(eng *engine.Engine, scale Scale) *SqrtResult {
-	res := &SqrtResult{Rows: make([]SqrtRow, len(SqrtApps))}
+// planSqrt plans MEMO-TABLEs on the square-root unit (latency 17 cycles,
+// a digit-recurrence unit's cost at 1 bit/cycle), the paper's first
+// future-work item, with the Table 11 methodology: per application one
+// ordered demand feeding a baseline and an enhanced cycle model.
+func planSqrt(ctx *Context) ([]Demand, func() *SqrtResult) {
 	proc := isa.FastFP()
-	eng.Map(len(SqrtApps), func(i int) {
-		name := SqrtApps[i]
-		app, err := workloads.Lookup(name)
-		if err != nil {
-			panic(err)
+	type machines struct {
+		base, enh *cpu.Model
+	}
+	ms := make([]machines, len(SqrtApps))
+	demands := make([]Demand, len(SqrtApps))
+	for i, name := range SqrtApps {
+		app := ctx.App(name)
+		ms[i] = machines{
+			base: cpu.New(proc),
+			enh: cpu.New(proc,
+				memo.NewUnit(memo.New(isa.OpFSqrt, memo.Paper32x4()), memo.NonTrivialOnly, nil)),
 		}
-		base := cpu.New(proc)
-		enh := cpu.New(proc,
-			memo.NewUnit(memo.New(isa.OpFSqrt, memo.Paper32x4()), memo.NonTrivialOnly, nil))
-		for _, inName := range app.Inputs {
-			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale), base, enh)
+		demands[i] = Demand{
+			Sinks:     []trace.Sink{ms[i].base, ms[i].enh},
+			Workloads: ctx.AppWorkloads(app),
 		}
-		c := cellFrom(base, enh, []isa.Op{isa.OpFSqrt})
-		res.Rows[i] = SqrtRow{
-			Name: name, HitRatio: c.HitRatio, FE: c.FE, SE: c.SE, Speedup: c.Speedup,
+	}
+	finish := func() *SqrtResult {
+		res := &SqrtResult{Rows: make([]SqrtRow, len(SqrtApps))}
+		for i, name := range SqrtApps {
+			c := cellFrom(ms[i].base, ms[i].enh, []isa.Op{isa.OpFSqrt})
+			res.Rows[i] = SqrtRow{
+				Name: name, HitRatio: c.HitRatio, FE: c.FE, SE: c.SE, Speedup: c.Speedup,
+			}
 		}
-	})
-	return res
+		return res
+	}
+	return demands, finish
 }
 
-// Render prints the sqrt study.
-func (r *SqrtResult) Render() string {
-	tab := report.NewTable(
+// ExtensionSqrt evaluates the sqrt extension standalone on the given
+// engine.
+func ExtensionSqrt(eng *engine.Engine, scale Scale) *SqrtResult {
+	return runPlan(eng, scale, planSqrt)
+}
+
+// Result builds the sqrt study as a typed table.
+func (r *SqrtResult) Result() *report.Result {
+	res := report.NewTableResult(
 		"Extension: fp square root memoized (17-cycle unit; paper §4 future work)",
 		"app", "hit ratio", "FE", "SE", "Speedup")
 	var hr, fe, se, sp []float64
 	for _, row := range r.Rows {
-		tab.AddRow(row.Name, report.Ratio(row.HitRatio),
-			fmt.Sprintf("%.3f", row.FE), fmt.Sprintf("%.2f", row.SE),
-			fmt.Sprintf("%.2f", row.Speedup))
+		res.AddRow(report.Str(row.Name), report.RatioCell(row.HitRatio),
+			report.FloatCell(row.FE, 3), report.FloatCell(row.SE, 2),
+			report.FloatCell(row.Speedup, 2))
 		hr = append(hr, row.HitRatio)
 		fe = append(fe, row.FE)
 		se = append(se, row.SE)
 		sp = append(sp, row.Speedup)
 	}
-	tab.AddRow("average", report.Ratio(meanIgnoringNaN(hr)),
-		fmt.Sprintf("%.3f", meanIgnoringNaN(fe)),
-		fmt.Sprintf("%.2f", meanIgnoringNaN(se)),
-		fmt.Sprintf("%.2f", meanIgnoringNaN(sp)))
-	return tab.String()
+	res.AddRow(report.Str("average"), report.RatioCell(meanIgnoringNaN(hr)),
+		report.FloatCell(meanIgnoringNaN(fe), 3),
+		report.FloatCell(meanIgnoringNaN(se), 2),
+		report.FloatCell(meanIgnoringNaN(sp), 2))
+	return res
 }
+
+// Render prints the sqrt study.
+func (r *SqrtResult) Render() string { return report.Text(r.Result()) }
 
 // RecipRow compares a fdiv MEMO-TABLE against a reciprocal cache of equal
 // geometry on one application.
@@ -127,62 +144,80 @@ func (s recipSink) EmitBatch(evs []trace.Event) {
 // fused replays skip division-free blocks entirely.
 func (s recipSink) OpMask() trace.OpMask { return trace.MaskOf(isa.OpFDiv) }
 
-// ExtensionRecip compares the MEMO-TABLE against the Oberman/Flynn
+// planRecip plans the MEMO-TABLE against the Oberman/Flynn
 // reciprocal-cache baseline at identical geometry (32 entries, 4-way) on
-// the speedup-study applications.
-func ExtensionRecip(eng *engine.Engine, scale Scale) *RecipResult {
+// the speedup-study applications. Applications without divisions are
+// dropped in finish.
+func planRecip(ctx *Context) ([]Demand, func() *RecipResult) {
 	const (
 		divLatency = 13
 		mulLatency = 3
 	)
-	res := &RecipResult{}
-	rows := make([]RecipRow, len(SpeedupApps))
-	kept := make([]bool, len(SpeedupApps))
-	eng.Map(len(SpeedupApps), func(i int) {
-		name := SpeedupApps[i]
-		app, err := workloads.Lookup(name)
-		if err != nil {
-			panic(err)
+	type schemes struct {
+		memoSet *TableSet
+		rc      *memo.RecipCache
+	}
+	ss := make([]schemes, len(SpeedupApps))
+	demands := make([]Demand, len(SpeedupApps))
+	for i, name := range SpeedupApps {
+		app := ctx.App(name)
+		ss[i] = schemes{
+			memoSet: NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly),
+			rc:      memo.NewRecipCache(memo.Paper32x4()),
 		}
-		memoSet := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
-		rc := memo.NewRecipCache(memo.Paper32x4())
-		for _, inName := range app.Inputs {
-			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale),
-				memoSet, recipSink{rc})
+		demands[i] = Demand{
+			Sinks:     []trace.Sink{ss[i].memoSet, recipSink{ss[i].rc}},
+			Workloads: ctx.AppWorkloads(app),
 		}
-		mSt := memoSet.Unit(isa.OpFDiv).Table().Stats()
-		rSt := rc.Stats()
-		if mSt.Lookups == 0 {
-			return // application without divisions
+	}
+	finish := func() *RecipResult {
+		res := &RecipResult{}
+		for i, name := range SpeedupApps {
+			mSt := ss[i].memoSet.Unit(isa.OpFDiv).Table().Stats()
+			rSt := ss[i].rc.Stats()
+			if mSt.Lookups == 0 {
+				continue // application without divisions
+			}
+			res.Rows = append(res.Rows, RecipRow{
+				Name:       name,
+				MemoHit:    mSt.HitRatio(),
+				RecipHit:   rSt.HitRatio(),
+				MemoSaved:  mSt.Hits * uint64(divLatency-1),
+				RecipSaved: rSt.Hits * uint64(divLatency-mulLatency),
+				Mismatches: ss[i].rc.RoundingMismatch(),
+			})
 		}
-		rows[i] = RecipRow{
-			Name:       name,
-			MemoHit:    mSt.HitRatio(),
-			RecipHit:   rSt.HitRatio(),
-			MemoSaved:  mSt.Hits * uint64(divLatency-1),
-			RecipSaved: rSt.Hits * uint64(divLatency-mulLatency),
-			Mismatches: rc.RoundingMismatch(),
-		}
-		kept[i] = true
-	})
-	for i, row := range rows {
-		if kept[i] {
-			res.Rows = append(res.Rows, row)
-		}
+		return res
+	}
+	return demands, finish
+}
+
+// ExtensionRecip runs the reciprocal-cache comparison standalone on the
+// given engine.
+func ExtensionRecip(eng *engine.Engine, scale Scale) *RecipResult {
+	return runPlan(eng, scale, planRecip)
+}
+
+// Result builds the comparison as a typed table.
+func (r *RecipResult) Result() *report.Result {
+	res := report.NewTableResult(
+		"Extension: MEMO-TABLE vs reciprocal cache (32/4; div 13, mul 3 cycles)",
+		"app", "memo hit", "recip hit", "memo saved", "recip saved", "uncorrected ulps")
+	for _, row := range r.Rows {
+		res.AddRow(report.Str(row.Name),
+			report.RatioCell(row.MemoHit), report.RatioCell(row.RecipHit),
+			report.Int(int64(row.MemoSaved)), report.Int(int64(row.RecipSaved)),
+			report.Int(int64(row.Mismatches)))
 	}
 	return res
 }
 
 // Render prints the comparison.
-func (r *RecipResult) Render() string {
-	tab := report.NewTable(
-		"Extension: MEMO-TABLE vs reciprocal cache (32/4; div 13, mul 3 cycles)",
-		"app", "memo hit", "recip hit", "memo saved", "recip saved", "uncorrected ulps")
-	for _, row := range r.Rows {
-		tab.AddRow(row.Name,
-			report.Ratio(row.MemoHit), report.Ratio(row.RecipHit),
-			fmt.Sprintf("%d", row.MemoSaved), fmt.Sprintf("%d", row.RecipSaved),
-			fmt.Sprintf("%d", row.Mismatches))
-	}
-	return tab.String()
+func (r *RecipResult) Render() string { return report.Text(r.Result()) }
+
+func init() {
+	register("sqrt-extension", "Fp square root memoized on a 17-cycle unit",
+		[]isa.Op{isa.OpFSqrt}, planSqrt)
+	register("recip-comparison", "MEMO-TABLE vs Oberman/Flynn reciprocal cache at 32/4",
+		[]isa.Op{isa.OpFDiv}, planRecip)
 }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"memotable/internal/engine"
@@ -10,7 +9,6 @@ import (
 	"memotable/internal/report"
 	"memotable/internal/stats"
 	"memotable/internal/trace"
-	"memotable/internal/workloads"
 )
 
 // GeometryApps are the five sample applications of Figures 3 and 4.
@@ -36,8 +34,8 @@ type GeometryResult struct {
 // paper sweeps 8 to 8192 entries.
 var Figure3Sizes = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
 
-// Figure3 reproduces the hit ratio vs table size sweep (set size 4).
-func Figure3(eng *engine.Engine, scale Scale) *GeometryResult {
+// figure3Cfgs builds the size sweep's configurations.
+func figure3Cfgs() []memo.Config {
 	cfgs := make([]memo.Config, len(Figure3Sizes))
 	for i, n := range Figure3Sizes {
 		ways := 4
@@ -46,100 +44,114 @@ func Figure3(eng *engine.Engine, scale Scale) *GeometryResult {
 		}
 		cfgs[i] = memo.Config{Entries: n, Ways: ways}
 	}
-	res := sweep(eng, "Figure 3: hit ratio vs LUT size (assoc 4)", "entries", cfgs, scale)
-	for i := range res.Points {
-		res.Points[i].X = Figure3Sizes[i]
+	return cfgs
+}
+
+// planFigure3 plans the hit ratio vs table size sweep (set size 4).
+func planFigure3(ctx *Context) ([]Demand, func() *GeometryResult) {
+	demands, finish := planSweep(ctx, "Figure 3: hit ratio vs LUT size (assoc 4)",
+		"entries", figure3Cfgs())
+	return demands, func() *GeometryResult {
+		res := finish()
+		for i := range res.Points {
+			res.Points[i].X = Figure3Sizes[i]
+		}
+		return res
 	}
-	return res
+}
+
+// Figure3 reproduces the size sweep standalone on the given engine.
+func Figure3(eng *engine.Engine, scale Scale) *GeometryResult {
+	return runPlan(eng, scale, planFigure3)
 }
 
 // Figure4Ways are the associativities swept at 32 entries.
 var Figure4Ways = []int{1, 2, 4, 8}
 
-// Figure4 reproduces the hit ratio vs associativity sweep (32 entries).
-func Figure4(eng *engine.Engine, scale Scale) *GeometryResult {
+// planFigure4 plans the hit ratio vs associativity sweep (32 entries).
+func planFigure4(ctx *Context) ([]Demand, func() *GeometryResult) {
 	cfgs := make([]memo.Config, len(Figure4Ways))
 	for i, w := range Figure4Ways {
 		cfgs[i] = memo.Config{Entries: 32, Ways: w}
 	}
-	res := sweep(eng, "Figure 4: hit ratio vs associativity (32 entries)", "ways", cfgs, scale)
-	for i := range res.Points {
-		res.Points[i].X = Figure4Ways[i]
+	demands, finish := planSweep(ctx, "Figure 4: hit ratio vs associativity (32 entries)",
+		"ways", cfgs)
+	return demands, func() *GeometryResult {
+		res := finish()
+		for i := range res.Points {
+			res.Points[i].X = Figure4Ways[i]
+		}
+		return res
 	}
-	return res
 }
 
-// sweep measures the five sample applications across all configurations:
-// each application's inputs are captured once across the pool, then one
-// cell per application replays each input's recorded stream a single time
-// into every configuration's table set at once (a fused multi-config
-// replay), instead of re-decoding the stream per (application ×
-// configuration) cell. One TableSet per (app, config), shared across that
-// app's inputs (the paper's averages are across the applications at each
-// size).
-func sweep(eng *engine.Engine, title, xName string, cfgs []memo.Config, scale Scale) *GeometryResult {
-	type src struct {
-		key string
-		run Runner
-	}
-	srcs := make([][]src, len(GeometryApps))
-	var flat []src
-	for a, name := range GeometryApps {
-		app, err := workloads.Lookup(name)
-		if err != nil {
-			panic(err)
-		}
-		for _, inName := range app.Inputs {
-			s := src{appKey(name, inName, scale), appRunner(app, inName, scale)}
-			srcs[a] = append(srcs[a], s)
-			flat = append(flat, s)
-		}
-	}
-	eng.Map(len(flat), func(i int) { eng.Warm(flat[i].key, captureOf(flat[i].run)) })
+// Figure4 reproduces the associativity sweep standalone.
+func Figure4(eng *engine.Engine, scale Scale) *GeometryResult {
+	return runPlan(eng, scale, planFigure4)
+}
 
+// planSweep plans the five sample applications across all
+// configurations: one TableSet per (app, config), shared across that
+// app's inputs (the paper's averages are across the applications at
+// each size), so each app is one ordered demand whose fused replays
+// feed every configuration's set at once.
+func planSweep(ctx *Context, title, xName string, cfgs []memo.Config) ([]Demand, func() *GeometryResult) {
 	perApp := make([][]*TableSet, len(GeometryApps))
-	eng.Map(len(GeometryApps), func(a int) {
+	demands := make([]Demand, len(GeometryApps))
+	for a, name := range GeometryApps {
+		app := ctx.App(name)
 		sets := make([]*TableSet, len(cfgs))
 		sinks := make([]trace.Sink, len(cfgs))
 		for i, cfg := range cfgs {
 			sets[i] = NewTableSet(cfg, memo.NonTrivialOnly)
 			sinks[i] = sets[i]
 		}
-		for _, s := range srcs[a] {
-			replayRun(eng, s.key, s.run, sinks...)
-		}
 		perApp[a] = sets
-	})
-	res := &GeometryResult{Title: title, XName: xName}
-	for i := range cfgs {
-		var fmuls, fdivs []float64
-		for a := range GeometryApps {
-			if v := perApp[a][i].HitRatio(isa.OpFMul); !math.IsNaN(v) {
-				fmuls = append(fmuls, v)
+		demands[a] = Demand{Sinks: sinks, Workloads: ctx.AppWorkloads(app)}
+	}
+	finish := func() *GeometryResult {
+		res := &GeometryResult{Title: title, XName: xName}
+		for i := range cfgs {
+			var fmuls, fdivs []float64
+			for a := range GeometryApps {
+				if v := perApp[a][i].HitRatio(isa.OpFMul); !math.IsNaN(v) {
+					fmuls = append(fmuls, v)
+				}
+				if v := perApp[a][i].HitRatio(isa.OpFDiv); !math.IsNaN(v) {
+					fdivs = append(fdivs, v)
+				}
 			}
-			if v := perApp[a][i].HitRatio(isa.OpFDiv); !math.IsNaN(v) {
-				fdivs = append(fdivs, v)
-			}
+			pt := GeometryPoint{}
+			pt.FMulMean = stats.Mean(fmuls)
+			pt.FMulMin, pt.FMulMax = stats.MinMax(fmuls)
+			pt.FDivMean = stats.Mean(fdivs)
+			pt.FDivMin, pt.FDivMax = stats.MinMax(fdivs)
+			res.Points = append(res.Points, pt)
 		}
-		pt := GeometryPoint{}
-		pt.FMulMean = stats.Mean(fmuls)
-		pt.FMulMin, pt.FMulMax = stats.MinMax(fmuls)
-		pt.FDivMean = stats.Mean(fdivs)
-		pt.FDivMin, pt.FDivMax = stats.MinMax(fdivs)
-		res.Points = append(res.Points, pt)
+		return res
+	}
+	return demands, finish
+}
+
+// Result builds the sweep as a typed table (the paper renders these
+// figures as series tables; the per-point rows are the series' samples).
+func (r *GeometryResult) Result() *report.Result {
+	res := report.NewTableResult(r.Title, r.XName,
+		"fmul mean", "fmul min", "fmul max",
+		"fdiv mean", "fdiv min", "fdiv max")
+	for _, pt := range r.Points {
+		res.AddRow(report.Int(int64(pt.X)),
+			report.RatioCell(pt.FMulMean), report.RatioCell(pt.FMulMin), report.RatioCell(pt.FMulMax),
+			report.RatioCell(pt.FDivMean), report.RatioCell(pt.FDivMin), report.RatioCell(pt.FDivMax))
 	}
 	return res
 }
 
 // Render prints the sweep as a series table.
-func (r *GeometryResult) Render() string {
-	tab := report.NewTable(r.Title, r.XName,
-		"fmul mean", "fmul min", "fmul max",
-		"fdiv mean", "fdiv min", "fdiv max")
-	for _, pt := range r.Points {
-		tab.AddRow(fmt.Sprintf("%d", pt.X),
-			report.Ratio(pt.FMulMean), report.Ratio(pt.FMulMin), report.Ratio(pt.FMulMax),
-			report.Ratio(pt.FDivMean), report.Ratio(pt.FDivMin), report.Ratio(pt.FDivMax))
-	}
-	return tab.String()
+func (r *GeometryResult) Render() string { return report.Text(r.Result()) }
+
+func init() {
+	fpOps := []isa.Op{isa.OpFMul, isa.OpFDiv}
+	register("figure3", "Hit ratio vs LUT size, 8-8192 entries at 4-way", fpOps, planFigure3)
+	register("figure4", "Hit ratio vs associativity, 1-8 ways at 32 entries", fpOps, planFigure4)
 }

@@ -2,51 +2,12 @@ package experiments
 
 import (
 	"memotable/internal/engine"
-	"memotable/internal/imaging"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/report"
 	"memotable/internal/scientific"
-	"memotable/internal/workloads"
+	"memotable/internal/trace"
 )
-
-// Scale bounds the image geometry the MM experiments run at. The paper
-// traced full applications under Shade; we trade input size for wall
-// clock without changing value behaviour (subsampling preserves the
-// quantized histograms the hit ratios respond to).
-type Scale int
-
-// Scales.
-const (
-	// Tiny decimates inputs to 32 pixels per side: unit-test budget.
-	Tiny Scale = iota
-	// Quick decimates inputs to 64 pixels per side: interactive budget
-	// (the memosim command's default).
-	Quick
-	// Full decimates inputs to 192 pixels per side: benchmark budget.
-	Full
-)
-
-// maxDim returns the per-side bound.
-func (s Scale) maxDim() int {
-	switch s {
-	case Full:
-		return 192
-	case Quick:
-		return 64
-	default:
-		return 32
-	}
-}
-
-// inputFor fetches and decimates a catalog input.
-func inputFor(name string, scale Scale) *imaging.Image {
-	in := imaging.Find(name)
-	if in == nil {
-		panic("experiments: unknown input " + name)
-	}
-	return in.Image.Decimate(scale.maxDim())
-}
 
 // HitRow is one application's hit ratios under two table configurations.
 type HitRow struct {
@@ -79,64 +40,104 @@ func (t *HitTable) Average() HitRow {
 	return avg
 }
 
-// Render prints the table in the paper's layout.
-func (t *HitTable) Render() string {
-	tab := report.NewTable(t.Title, "application",
+// Result builds the typed table in the paper's layout.
+func (t *HitTable) Result() *report.Result {
+	res := report.NewTableResult(t.Title, "application",
 		"int mult", "fp mult", "fp div",
 		"int mult∞", "fp mult∞", "fp div∞")
 	rows := append(append([]HitRow(nil), t.Rows...), t.Average())
 	for _, r := range rows {
-		tab.AddRow(r.Name,
-			report.Ratio(r.Small[isa.OpIMul]),
-			report.Ratio(r.Small[isa.OpFMul]),
-			report.Ratio(r.Small[isa.OpFDiv]),
-			report.Ratio(r.Infinite[isa.OpIMul]),
-			report.Ratio(r.Infinite[isa.OpFMul]),
-			report.Ratio(r.Infinite[isa.OpFDiv]))
+		res.AddRow(report.Str(r.Name),
+			report.RatioCell(r.Small[isa.OpIMul]),
+			report.RatioCell(r.Small[isa.OpFMul]),
+			report.RatioCell(r.Small[isa.OpFDiv]),
+			report.RatioCell(r.Infinite[isa.OpIMul]),
+			report.RatioCell(r.Infinite[isa.OpFMul]),
+			report.RatioCell(r.Infinite[isa.OpFDiv]))
 	}
-	return tab.String()
+	return res
 }
 
-// suiteHitTable measures one list of kernels against the paper's basic
-// 32/4 configuration and the infinite table: one engine cell per kernel,
-// both table sets fed from a single trace replay.
-func suiteHitTable(eng *engine.Engine, title string, names []string, runs []Runner) *HitTable {
-	t := &HitTable{Title: title, Rows: make([]HitRow, len(runs))}
-	eng.Map(len(runs), func(i int) {
-		small := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
-		inf := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
-		replayRun(eng, kernelKey(names[i]), runs[i], small, inf)
-		row := HitRow{Name: names[i], Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
-		for _, op := range ratioOps {
-			row.Small[op] = small.HitRatio(op)
-			row.Infinite[op] = inf.HitRatio(op)
+// Render prints the table in the paper's layout.
+func (t *HitTable) Render() string { return report.Text(t.Result()) }
+
+// hitPair is one row's pair of table sets, filled by the replay pass.
+type hitPair struct {
+	small, inf *TableSet
+}
+
+// newHitPair builds the paper's basic 32/4 set and the infinite set.
+func newHitPair() hitPair {
+	return hitPair{
+		small: NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly),
+		inf:   NewTableSet(memo.Infinite(), memo.NonTrivialOnly),
+	}
+}
+
+// row reads the fed pair into a named HitRow.
+func (p hitPair) row(name string) HitRow {
+	r := HitRow{Name: name, Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
+	for _, op := range ratioOps {
+		r.Small[op] = p.small.HitRatio(op)
+		r.Infinite[op] = p.inf.HitRatio(op)
+	}
+	return r
+}
+
+// planSuiteHit plans one list of kernels against the paper's basic 32/4
+// configuration and the infinite table: one single-workload demand per
+// kernel, both table sets fed from the same fused replay.
+func planSuiteHit(ctx *Context, title string, names []string, runs []Runner) ([]Demand, func() *HitTable) {
+	pairs := make([]hitPair, len(runs))
+	demands := make([]Demand, len(runs))
+	for i := range runs {
+		pairs[i] = newHitPair()
+		demands[i] = Demand{
+			Sinks:     []trace.Sink{pairs[i].small, pairs[i].inf},
+			Workloads: []Workload{ctx.KernelWorkload(names[i], runs[i])},
 		}
-		t.Rows[i] = row
-	})
-	return t
+	}
+	finish := func() *HitTable {
+		t := &HitTable{Title: title, Rows: make([]HitRow, len(runs))}
+		for i := range runs {
+			t.Rows[i] = pairs[i].row(names[i])
+		}
+		return t
+	}
+	return demands, finish
 }
 
-// Table5 reproduces "Hit ratios for the Perfect benchmarks" (32/4 vs
+// kernelSuite flattens a kernel list into parallel name/run slices.
+func kernelSuite(ks []scientific.Kernel) (names []string, runs []Runner) {
+	names = make([]string, len(ks))
+	runs = make([]Runner, len(ks))
+	for i, k := range ks {
+		names[i], runs[i] = k.Name, k.Run
+	}
+	return names, runs
+}
+
+// planTable5 plans "Hit ratios for the Perfect benchmarks" (32/4 vs
 // infinite, non-trivial operations only).
-func Table5(eng *engine.Engine) *HitTable {
-	ks := scientific.Perfect()
-	names := make([]string, len(ks))
-	runs := make([]Runner, len(ks))
-	for i, k := range ks {
-		names[i], runs[i] = k.Name, k.Run
-	}
-	return suiteHitTable(eng, "Table 5: hit ratios, Perfect benchmarks", names, runs)
+func planTable5(ctx *Context) ([]Demand, func() *HitTable) {
+	names, runs := kernelSuite(scientific.Perfect())
+	return planSuiteHit(ctx, "Table 5: hit ratios, Perfect benchmarks", names, runs)
 }
 
-// Table6 reproduces "Hit ratios for the SPEC CFP95 benchmarks".
+// planTable6 plans "Hit ratios for the SPEC CFP95 benchmarks".
+func planTable6(ctx *Context) ([]Demand, func() *HitTable) {
+	names, runs := kernelSuite(scientific.SpecCFP95())
+	return planSuiteHit(ctx, "Table 6: hit ratios, SPEC CFP95 benchmarks", names, runs)
+}
+
+// Table5 reproduces Table 5 standalone on the given engine.
+func Table5(eng *engine.Engine) *HitTable {
+	return runPlan(eng, Tiny, planTable5)
+}
+
+// Table6 reproduces Table 6 standalone on the given engine.
 func Table6(eng *engine.Engine) *HitTable {
-	ks := scientific.SpecCFP95()
-	names := make([]string, len(ks))
-	runs := make([]Runner, len(ks))
-	for i, k := range ks {
-		names[i], runs[i] = k.Name, k.Run
-	}
-	return suiteHitTable(eng, "Table 6: hit ratios, SPEC CFP95 benchmarks", names, runs)
+	return runPlan(eng, Tiny, planTable6)
 }
 
 // mmTable7Apps lists the seventeen applications of Table 7 in paper
@@ -148,33 +149,37 @@ var mmTable7Apps = []string{
 	"vgpwl", "venhpatch", "vkmeans",
 }
 
-// Table7 reproduces "Hit ratios for Multi-Media applications". Each
-// application runs over its default inputs (the paper used 8–14 per
-// application) and reports per-op ratios aggregated over all inputs.
-func Table7(eng *engine.Engine, scale Scale) *HitTable {
-	t := &HitTable{
-		Title: "Table 7: hit ratios, Multi-Media applications",
-		Rows:  make([]HitRow, len(mmTable7Apps)),
+// planTable7 plans "Hit ratios for Multi-Media applications". Each
+// application aggregates one table-set pair over its default inputs
+// (the paper used 8–14 per application), so its demand orders the
+// input workloads as one sequence.
+func planTable7(ctx *Context) ([]Demand, func() *HitTable) {
+	pairs := make([]hitPair, len(mmTable7Apps))
+	demands := make([]Demand, len(mmTable7Apps))
+	for i, name := range mmTable7Apps {
+		app := ctx.App(name)
+		pairs[i] = newHitPair()
+		demands[i] = Demand{
+			Sinks:     []trace.Sink{pairs[i].small, pairs[i].inf},
+			Workloads: ctx.AppWorkloads(app),
+		}
 	}
-	eng.Map(len(mmTable7Apps), func(i int) {
-		name := mmTable7Apps[i]
-		app, err := workloads.Lookup(name)
-		if err != nil {
-			panic(err)
+	finish := func() *HitTable {
+		t := &HitTable{
+			Title: "Table 7: hit ratios, Multi-Media applications",
+			Rows:  make([]HitRow, len(mmTable7Apps)),
 		}
-		small := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
-		inf := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
-		for _, inName := range app.Inputs {
-			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale), small, inf)
+		for i, name := range mmTable7Apps {
+			t.Rows[i] = pairs[i].row(name)
 		}
-		row := HitRow{Name: name, Small: map[isa.Op]float64{}, Infinite: map[isa.Op]float64{}}
-		for _, op := range ratioOps {
-			row.Small[op] = small.HitRatio(op)
-			row.Infinite[op] = inf.HitRatio(op)
-		}
-		t.Rows[i] = row
-	})
-	return t
+		return t
+	}
+	return demands, finish
+}
+
+// Table7 reproduces Table 7 standalone on the given engine.
+func Table7(eng *engine.Engine, scale Scale) *HitTable {
+	return runPlan(eng, scale, planTable7)
 }
 
 // Table10Result compares full-value and mantissa-only tagging (Table 10):
@@ -186,68 +191,77 @@ type Table10Result struct {
 	MMFull, MMMant           map[isa.Op]float64
 }
 
-// Table10 reproduces the mantissa-only comparison. The suite aggregation
-// is stateful — every workload feeds one table pair in order — so each
-// suite is a single engine cell; the per-workload trace captures are the
-// parallel part, warmed across the pool first.
-func Table10(eng *engine.Engine, scale Scale) *Table10Result {
-	res := &Table10Result{
-		PerfectFull: map[isa.Op]float64{}, PerfectMant: map[isa.Op]float64{},
-		MMFull: map[isa.Op]float64{}, MMMant: map[isa.Op]float64{},
-	}
+// planTable10 plans the mantissa-only comparison. The suite aggregation
+// is stateful — every workload of a suite feeds one table pair in order
+// — so each suite is a single ordered demand.
+func planTable10(ctx *Context) ([]Demand, func() *Table10Result) {
 	mantCfg := memo.Paper32x4()
 	mantCfg.MantissaOnly = true
-
-	type src struct {
-		key string
-		run Runner
+	type suite struct {
+		full, mant *TableSet
 	}
-	var perf, mm []src
+	newSuite := func() suite {
+		return suite{
+			full: NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly),
+			mant: NewTableSet(mantCfg, memo.NonTrivialOnly),
+		}
+	}
+	var perfWs, mmWs []Workload
 	for _, k := range scientific.Perfect() {
-		perf = append(perf, src{kernelKey(k.Name), k.Run})
+		perfWs = append(perfWs, ctx.KernelWorkload(k.Name, k.Run))
 	}
 	for _, name := range mmTable7Apps {
-		app, _ := workloads.Lookup(name)
-		mm = append(mm, src{appKey(name, app.Inputs[0], scale), appRunner(app, app.Inputs[0], scale)})
+		app := ctx.App(name)
+		mmWs = append(mmWs, ctx.AppWorkload(app, app.Inputs[0]))
 	}
-	all := append(append([]src(nil), perf...), mm...)
-	eng.Map(len(all), func(i int) { eng.Warm(all[i].key, captureOf(all[i].run)) })
-
-	measure := func(srcs []src) (full, mant map[isa.Op]float64) {
-		fullSet := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
-		mantSet := NewTableSet(mantCfg, memo.NonTrivialOnly)
-		for _, s := range srcs {
-			replayRun(eng, s.key, s.run, fullSet, mantSet)
-		}
+	perf, mm := newSuite(), newSuite()
+	demands := []Demand{
+		{Sinks: []trace.Sink{perf.full, perf.mant}, Workloads: perfWs},
+		{Sinks: []trace.Sink{mm.full, mm.mant}, Workloads: mmWs},
+	}
+	read := func(s suite) (full, mant map[isa.Op]float64) {
 		full = map[isa.Op]float64{}
 		mant = map[isa.Op]float64{}
 		for _, op := range []isa.Op{isa.OpFMul, isa.OpFDiv} {
-			full[op] = fullSet.HitRatio(op)
-			mant[op] = mantSet.HitRatio(op)
+			full[op] = s.full.HitRatio(op)
+			mant[op] = s.mant.HitRatio(op)
 		}
 		return full, mant
 	}
+	finish := func() *Table10Result {
+		res := &Table10Result{}
+		res.PerfectFull, res.PerfectMant = read(perf)
+		res.MMFull, res.MMMant = read(mm)
+		return res
+	}
+	return demands, finish
+}
 
-	suites := [][]src{perf, mm}
-	var outs [2][2]map[isa.Op]float64
-	eng.Map(len(suites), func(i int) {
-		f, m := measure(suites[i])
-		outs[i] = [2]map[isa.Op]float64{f, m}
-	})
-	res.PerfectFull, res.PerfectMant = outs[0][0], outs[0][1]
-	res.MMFull, res.MMMant = outs[1][0], outs[1][1]
+// Table10 reproduces the mantissa-only comparison standalone.
+func Table10(eng *engine.Engine, scale Scale) *Table10Result {
+	return runPlan(eng, scale, planTable10)
+}
+
+// Result builds Table 10 as a typed table.
+func (r *Table10Result) Result() *report.Result {
+	res := report.NewTableResult("Table 10: full value vs mantissa-only tags (32/4 averages)",
+		"suite", "fp mult full", "fp mult mant", "fp div full", "fp div mant")
+	res.AddRow(report.Str("Perfect"),
+		report.RatioCell(r.PerfectFull[isa.OpFMul]), report.RatioCell(r.PerfectMant[isa.OpFMul]),
+		report.RatioCell(r.PerfectFull[isa.OpFDiv]), report.RatioCell(r.PerfectMant[isa.OpFDiv]))
+	res.AddRow(report.Str("Multi-Media"),
+		report.RatioCell(r.MMFull[isa.OpFMul]), report.RatioCell(r.MMMant[isa.OpFMul]),
+		report.RatioCell(r.MMFull[isa.OpFDiv]), report.RatioCell(r.MMMant[isa.OpFDiv]))
 	return res
 }
 
 // Render prints Table 10.
-func (r *Table10Result) Render() string {
-	tab := report.NewTable("Table 10: full value vs mantissa-only tags (32/4 averages)",
-		"suite", "fp mult full", "fp mult mant", "fp div full", "fp div mant")
-	tab.AddRow("Perfect",
-		report.Ratio(r.PerfectFull[isa.OpFMul]), report.Ratio(r.PerfectMant[isa.OpFMul]),
-		report.Ratio(r.PerfectFull[isa.OpFDiv]), report.Ratio(r.PerfectMant[isa.OpFDiv]))
-	tab.AddRow("Multi-Media",
-		report.Ratio(r.MMFull[isa.OpFMul]), report.Ratio(r.MMMant[isa.OpFMul]),
-		report.Ratio(r.MMFull[isa.OpFDiv]), report.Ratio(r.MMMant[isa.OpFDiv]))
-	return tab.String()
+func (r *Table10Result) Render() string { return report.Text(r.Result()) }
+
+func init() {
+	register("table5", "Hit ratios, Perfect benchmarks (32/4 vs infinite)", ratioOps, planTable5)
+	register("table6", "Hit ratios, SPEC CFP95 benchmarks (32/4 vs infinite)", ratioOps, planTable6)
+	register("table7", "Hit ratios, Multi-Media applications (32/4 vs infinite)", ratioOps, planTable7)
+	register("table10", "Full-value vs mantissa-only tags (32/4 suite averages)",
+		[]isa.Op{isa.OpFMul, isa.OpFDiv}, planTable10)
 }

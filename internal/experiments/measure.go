@@ -3,14 +3,14 @@
 // once and measures every attached MEMO-TABLE. See DESIGN.md for the
 // experiment index.
 //
-// Every driver runs on an engine.Engine: the evaluation matrix is
-// embarrassingly parallel across workloads, so drivers fan per-workload
-// cells across the engine's worker pool, and within a cell replay the
-// workload's once-captured operand trace into every configuration's
-// sinks in a single fused pass (engine.ReplayAll) instead of re-decoding
-// it per configuration. Results land in per-cell slots, so rendered
-// output is bit-identical at any worker count; engine.Serial() gives the
-// reference single-threaded path.
+// Every driver is a registered Experiment (registry.go): its plan half
+// declares which workload traces feed which sinks, the engine's
+// cross-experiment planner (engine.RunPass) captures each demanded
+// workload once and replays it once into every subscribed sink across
+// the whole selection, and its finish half assembles a typed
+// report.Result. Results are read from per-experiment sinks in declared
+// order, so rendered output is bit-identical at any worker count;
+// engine.Serial() gives the reference single-threaded path.
 package experiments
 
 import (
@@ -149,16 +149,6 @@ func captureOf(run Runner) engine.CaptureFunc {
 // image load/decimate to capture time so cache hits skip it entirely.
 func appRunner(app workloads.App, input string, scale Scale) Runner {
 	return func(p *probe.Probe) { app.Run(p, inputFor(input, scale)) }
-}
-
-// replayRun streams the workload's trace — captured at most once per
-// engine — into the given sinks in one fused pass over the decoded
-// stream. Capture failures are programming errors (an engine-cached trace
-// is produced by our own Writer), so they panic.
-func replayRun(eng *engine.Engine, key string, run Runner, sinks ...trace.Sink) {
-	if _, err := eng.ReplayAll(key, captureOf(run), sinks); err != nil {
-		panic(err)
-	}
 }
 
 // meanIgnoringNaN averages the defined values; NaN entries ('-') are

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memotable/internal/engine"
+	"memotable/internal/imaging"
+	"memotable/internal/isa"
+	"memotable/internal/report"
+	"memotable/internal/workloads"
+)
+
+// The declarative experiment registry. Every table and figure of the
+// evaluation — plus the extensions — is a registered Experiment value
+// declaring its name, the operation classes it measures, and a Plan
+// function. A plan splits the driver in two around the replay planner:
+//
+//   - the plan half builds the experiment's sinks and declares its trace
+//     Demands (which workloads feed which sinks, in what order);
+//   - the finish half reads the fed sinks and assembles a typed
+//     report.Result tree.
+//
+// Run collects the demands of every selected experiment and hands them
+// to the engine's cross-experiment planner (engine.RunPass) as one
+// batch, so a workload shared by any number of selected experiments is
+// captured once and replayed once, feeding all their sinks in a single
+// fused pass — fusion no longer stops at driver boundaries.
+
+// Scale bounds the image geometry the MM experiments run at. The paper
+// traced full applications under Shade; we trade input size for wall
+// clock without changing value behaviour (subsampling preserves the
+// quantized histograms the hit ratios respond to).
+type Scale int
+
+// Scales.
+const (
+	// Tiny decimates inputs to 32 pixels per side: unit-test budget.
+	Tiny Scale = iota
+	// Quick decimates inputs to 64 pixels per side: interactive budget
+	// (the memosim command's default).
+	Quick
+	// Full decimates inputs to 192 pixels per side: benchmark budget.
+	Full
+)
+
+// maxDim returns the per-side bound.
+func (s Scale) maxDim() int {
+	switch s {
+	case Full:
+		return 192
+	case Quick:
+		return 64
+	default:
+		return 32
+	}
+}
+
+// inputFor fetches and decimates a catalog input.
+func inputFor(name string, scale Scale) *imaging.Image {
+	in := imaging.Find(name)
+	if in == nil {
+		panic("experiments: unknown input " + name)
+	}
+	return in.Image.Decimate(scale.maxDim())
+}
+
+// Workload names one capturable operand stream for the planner: the
+// engine cache key plus the capture that produces it.
+type Workload = engine.PassWorkload
+
+// Demand subscribes one group of an experiment's sinks to an ordered
+// workload sequence. Stateful sinks (a TableSet aggregating an
+// application over its inputs) rely on the order; single-workload
+// demands impose no ordering constraints on the planner.
+type Demand = engine.Subscription
+
+// Plan is one experiment's planned run: its trace demands, and a finish
+// function that assembles the typed result after every demand has been
+// fed. Finish runs only after the whole selection's replay pass, and
+// may run concurrently with other experiments' finishes.
+type Plan struct {
+	Demands []Demand
+	Finish  func() *report.Result
+}
+
+// Experiment is one registered table or figure: its registry name, its
+// human title, the operation classes it measures, and its plan
+// function. Plan functions run serially across a selection (they may
+// allocate from the synthetic image address space, which must not race
+// the captures that later rewind it) and must not capture or replay
+// anything themselves — that is the planner's job.
+type Experiment struct {
+	Name  string
+	Title string
+	Ops   []isa.Op
+	Plan  func(ctx *Context) Plan
+}
+
+// Context carries the run-wide knobs a plan builds against: the engine
+// (for finish-phase fan-out) and the input scale. The scale helpers
+// live here so drivers share one decimation path instead of each
+// re-deriving geometry bounds.
+type Context struct {
+	Eng   *engine.Engine
+	Scale Scale
+}
+
+// MaxDim returns the per-side image bound of the run's scale.
+func (c *Context) MaxDim() int { return c.Scale.maxDim() }
+
+// Input fetches a catalog input decimated to the run's scale.
+func (c *Context) Input(name string) *imaging.Image { return inputFor(name, c.Scale) }
+
+// App resolves a Multi-Media application by name; unknown names are
+// programming errors (the registry's app lists are static).
+func (c *Context) App(name string) workloads.App {
+	app, err := workloads.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return app
+}
+
+// AppWorkload names one (application, input) run at the run's scale.
+func (c *Context) AppWorkload(app workloads.App, input string) Workload {
+	return Workload{
+		Key:     appKey(app.Name, input, c.Scale),
+		Capture: captureOf(appRunner(app, input, c.Scale)),
+	}
+}
+
+// AppWorkloads names an application's full default input list, in
+// order — the sequence a stateful per-app sink must observe.
+func (c *Context) AppWorkloads(app workloads.App) []Workload {
+	ws := make([]Workload, len(app.Inputs))
+	for i, input := range app.Inputs {
+		ws[i] = c.AppWorkload(app, input)
+	}
+	return ws
+}
+
+// KernelWorkload names one scientific kernel run.
+func (c *Context) KernelWorkload(name string, run Runner) Workload {
+	return Workload{Key: kernelKey(name), Capture: captureOf(run)}
+}
+
+// registry holds the experiments by name.
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate or empty names and nil plans
+// are programming errors.
+func Register(e Experiment) {
+	if e.Name == "" || e.Plan == nil {
+		panic("experiments: Register needs a name and a plan")
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic("experiments: duplicate experiment " + e.Name)
+	}
+	registry[e.Name] = e
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered experiments sorted by name.
+func All() []Experiment {
+	names := Names()
+	exps := make([]Experiment, len(names))
+	for i, n := range names {
+		exps[i] = registry[n]
+	}
+	return exps
+}
+
+// Lookup resolves experiment names; no names selects the whole
+// registry. Every unknown name is reported in one error, so a caller
+// with a typo in position k learns about the one in position k+2 too.
+func Lookup(names ...string) ([]Experiment, error) {
+	if len(names) == 0 {
+		return All(), nil
+	}
+	exps := make([]Experiment, 0, len(names))
+	var unknown []string
+	for _, n := range names {
+		e, ok := registry[n]
+		if !ok {
+			unknown = append(unknown, fmt.Sprintf("%q", n))
+			continue
+		}
+		exps = append(exps, e)
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("experiments: unknown experiment(s) %s (have %s)",
+			strings.Join(unknown, ", "), strings.Join(Names(), ", "))
+	}
+	return exps, nil
+}
+
+// Run executes a selection of experiments (all of them when names is
+// empty) as one planned pass: plan serially, capture and replay every
+// demanded workload exactly once across the whole selection, then
+// finish in parallel. Results are returned in selection order with
+// their Name set from the registry.
+func Run(eng *engine.Engine, scale Scale, names ...string) ([]*report.Result, error) {
+	exps, err := Lookup(names...)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{Eng: eng, Scale: scale}
+	plans := make([]Plan, len(exps))
+	var subs []engine.Subscription
+	for i, ex := range exps {
+		plans[i] = ex.Plan(ctx)
+		subs = append(subs, plans[i].Demands...)
+	}
+	if err := eng.RunPass(subs); err != nil {
+		return nil, err
+	}
+	results := make([]*report.Result, len(exps))
+	eng.Map(len(exps), func(i int) {
+		r := plans[i].Finish()
+		if r != nil {
+			r.Name = exps[i].Name
+		}
+		results[i] = r
+	})
+	return results, nil
+}
+
+// runPlan drives one driver's plan standalone: the legacy typed entry
+// points (Table5, Figure3, ...) run through it, so they share the
+// planner path — and its exactly-once guarantee — with Run.
+func runPlan[T any](eng *engine.Engine, scale Scale, plan func(*Context) ([]Demand, func() T)) T {
+	ctx := &Context{Eng: eng, Scale: scale}
+	demands, finish := plan(ctx)
+	if err := eng.RunPass(demands); err != nil {
+		panic(err)
+	}
+	return finish()
+}
+
+// register wires a typed driver plan into the registry: the typed
+// finish is adapted to the report.Result the registry returns.
+func register[T interface{ Result() *report.Result }](
+	name, title string, ops []isa.Op, plan func(*Context) ([]Demand, func() T)) {
+	Register(Experiment{
+		Name:  name,
+		Title: title,
+		Ops:   ops,
+		Plan: func(ctx *Context) Plan {
+			demands, finish := plan(ctx)
+			return Plan{Demands: demands, Finish: func() *report.Result { return finish().Result() }}
+		},
+	})
+}

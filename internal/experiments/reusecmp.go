@@ -30,21 +30,32 @@ type ReuseComparison struct {
 	RolledMemo, UnrolledMemo     float64
 }
 
-// ReuseCompare runs the comparison on one catalog input, one engine cell
-// per compilation. (The PC-keyed streams are synthesized, not traced, so
-// there is nothing for the trace cache here — only the fan-out.)
+// planReuse plans the comparison. The PC-keyed streams are synthesized,
+// not traced, so there are no demands for the planner — but the input
+// image is decimated here, in the serial plan phase, because allocating
+// images concurrently with captures would perturb the synthetic address
+// space that captures rewind (see captureOf). Finish fans the two
+// compilations out on the engine.
+func planReuse(ctx *Context) ([]Demand, func() *ReuseComparison) {
+	img := ctx.Input("airport1")
+	finish := func() *ReuseComparison {
+		res := &ReuseComparison{}
+		unrolls := []int{1, 8}
+		outs := make([][3]float64, len(unrolls))
+		ctx.Eng.Map(len(unrolls), func(i int) {
+			rb, rbOnly, memoHit := runReuseStream(img, unrolls[i])
+			outs[i] = [3]float64{rb, rbOnly, memoHit}
+		})
+		res.RolledRB, res.RolledRBOnly, res.RolledMemo = outs[0][0], outs[0][1], outs[0][2]
+		res.UnrolledRB, res.UnrolledRBOnly, res.UnrolledMemo = outs[1][0], outs[1][1], outs[1][2]
+		return res
+	}
+	return nil, finish
+}
+
+// ReuseCompare runs the comparison standalone on the given engine.
 func ReuseCompare(eng *engine.Engine, scale Scale) *ReuseComparison {
-	img := imaging.Find("airport1").Image.Decimate(scale.maxDim())
-	res := &ReuseComparison{}
-	unrolls := []int{1, 8}
-	outs := make([][3]float64, len(unrolls))
-	eng.Map(len(unrolls), func(i int) {
-		rb, rbOnly, memoHit := runReuseStream(img, unrolls[i])
-		outs[i] = [3]float64{rb, rbOnly, memoHit}
-	})
-	res.RolledRB, res.RolledRBOnly, res.RolledMemo = outs[0][0], outs[0][1], outs[0][2]
-	res.UnrolledRB, res.UnrolledRBOnly, res.UnrolledMemo = outs[1][0], outs[1][1], outs[1][2]
-	return res
+	return runPlan(eng, scale, planReuse)
 }
 
 // runReuseStream emits the normalization loop's instruction stream with
@@ -102,14 +113,22 @@ func runReuseStream(img *imaging.Image, unroll int) (rb, rbOnly, memoHit float64
 		table.Stats().HitRatio()
 }
 
-// Render prints the comparison.
-func (r *ReuseComparison) Render() string {
-	tab := report.NewTable(
+// Result builds the comparison as a typed table.
+func (r *ReuseComparison) Result() *report.Result {
+	res := report.NewTableResult(
 		"Extension: value-keyed MEMO-TABLE vs PC-keyed reuse buffer (fp mult hit ratios)",
 		"compilation", "reuse buffer", "RB (mul-only)", "MEMO-TABLE")
-	tab.AddRow("rolled loop",
-		report.Ratio(r.RolledRB), report.Ratio(r.RolledRBOnly), report.Ratio(r.RolledMemo))
-	tab.AddRow("unrolled x8",
-		report.Ratio(r.UnrolledRB), report.Ratio(r.UnrolledRBOnly), report.Ratio(r.UnrolledMemo))
-	return tab.String()
+	res.AddRow(report.Str("rolled loop"),
+		report.RatioCell(r.RolledRB), report.RatioCell(r.RolledRBOnly), report.RatioCell(r.RolledMemo))
+	res.AddRow(report.Str("unrolled x8"),
+		report.RatioCell(r.UnrolledRB), report.RatioCell(r.UnrolledRBOnly), report.RatioCell(r.UnrolledMemo))
+	return res
+}
+
+// Render prints the comparison.
+func (r *ReuseComparison) Render() string { return report.Text(r.Result()) }
+
+func init() {
+	register("reuse-comparison", "Value-keyed MEMO-TABLE vs PC-keyed reuse buffer",
+		[]isa.Op{isa.OpFMul}, planReuse)
 }

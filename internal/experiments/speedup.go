@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"memotable/internal/cpu"
@@ -9,7 +8,7 @@ import (
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/report"
-	"memotable/internal/workloads"
+	"memotable/internal/trace"
 )
 
 // SpeedupApps are the nine applications of the paper's speedup study
@@ -47,77 +46,100 @@ type SpeedupResult struct {
 	Rows      []SpeedupRow
 }
 
-// Table11 reproduces the fdiv-memoization speedups with 13- and 39-cycle
+// planTable11 plans the fdiv-memoization speedups with 13- and 39-cycle
 // dividers.
-func Table11(eng *engine.Engine, scale Scale) *SpeedupResult {
+func planTable11(ctx *Context) ([]Demand, func() *SpeedupResult) {
 	base := isa.FastFP()
-	return speedupStudy(eng,
+	return planSpeedupStudy(ctx,
 		"Table 11: speedup, fp division memoized",
 		"13 cycles", "39 cycles",
 		[]isa.Op{isa.OpFDiv},
-		base.WithFPLatencies(3, 13), base.WithFPLatencies(3, 39), scale)
+		base.WithFPLatencies(3, 13), base.WithFPLatencies(3, 39))
 }
 
-// Table12 reproduces the fmul-memoization speedups with 3- and 5-cycle
+// planTable12 plans the fmul-memoization speedups with 3- and 5-cycle
 // multipliers.
-func Table12(eng *engine.Engine, scale Scale) *SpeedupResult {
+func planTable12(ctx *Context) ([]Demand, func() *SpeedupResult) {
 	base := isa.FastFP()
-	return speedupStudy(eng,
+	return planSpeedupStudy(ctx,
 		"Table 12: speedup, fp multiplication memoized",
 		"3 cycles", "5 cycles",
 		[]isa.Op{isa.OpFMul},
-		base.WithFPLatencies(3, 13), base.WithFPLatencies(5, 13), scale)
+		base.WithFPLatencies(3, 13), base.WithFPLatencies(5, 13))
 }
 
-// Table13 reproduces the combined fmul+fdiv speedups on the 3/13- and
+// planTable13 plans the combined fmul+fdiv speedups on the 3/13- and
 // 5/39-cycle machines.
-func Table13(eng *engine.Engine, scale Scale) *SpeedupResult {
+func planTable13(ctx *Context) ([]Demand, func() *SpeedupResult) {
 	base := isa.FastFP()
-	return speedupStudy(eng,
+	return planSpeedupStudy(ctx,
 		"Table 13: speedup, fp multiplication and division memoized",
 		"3/13 cycles", "5/39 cycles",
 		[]isa.Op{isa.OpFMul, isa.OpFDiv},
-		base.WithFPLatencies(3, 13), base.WithFPLatencies(5, 39), scale)
+		base.WithFPLatencies(3, 13), base.WithFPLatencies(5, 39))
 }
 
-// speedupStudy runs each application over its inputs on four machines in
-// one trace pass: baseline and memo-enhanced, at fast and slow FP
-// latencies. Each application is one engine cell.
-func speedupStudy(eng *engine.Engine, title, fastLabel, slowLabel string, ops []isa.Op,
-	fast, slow isa.Processor, scale Scale) *SpeedupResult {
+// Table11 reproduces Table 11 standalone on the given engine.
+func Table11(eng *engine.Engine, scale Scale) *SpeedupResult {
+	return runPlan(eng, scale, planTable11)
+}
 
-	res := &SpeedupResult{
-		Title: title, FastLabel: fastLabel, SlowLabel: slowLabel, Ops: ops,
-		Rows: make([]SpeedupRow, len(SpeedupApps)),
+// Table12 reproduces Table 12 standalone on the given engine.
+func Table12(eng *engine.Engine, scale Scale) *SpeedupResult {
+	return runPlan(eng, scale, planTable12)
+}
+
+// Table13 reproduces Table 13 standalone on the given engine.
+func Table13(eng *engine.Engine, scale Scale) *SpeedupResult {
+	return runPlan(eng, scale, planTable13)
+}
+
+// planSpeedupStudy plans each application over its inputs on four
+// machines in one fused pass per workload: baseline and memo-enhanced,
+// at fast and slow FP latencies. Each application is one ordered demand.
+func planSpeedupStudy(ctx *Context, title, fastLabel, slowLabel string, ops []isa.Op,
+	fast, slow isa.Processor) ([]Demand, func() *SpeedupResult) {
+
+	type machines struct {
+		fastBase, fastEnh, slowBase, slowEnh *cpu.Model
 	}
-	eng.Map(len(SpeedupApps), func(i int) {
-		name := SpeedupApps[i]
-		app, err := workloads.Lookup(name)
-		if err != nil {
-			panic(err)
+	units := func() []*memo.Unit {
+		us := make([]*memo.Unit, len(ops))
+		for i, op := range ops {
+			us[i] = memo.NewUnit(memo.New(op, memo.Paper32x4()), memo.NonTrivialOnly, nil)
 		}
-		units := func() []*memo.Unit {
-			us := make([]*memo.Unit, len(ops))
-			for i, op := range ops {
-				us[i] = memo.NewUnit(memo.New(op, memo.Paper32x4()), memo.NonTrivialOnly, nil)
+		return us
+	}
+	ms := make([]machines, len(SpeedupApps))
+	demands := make([]Demand, len(SpeedupApps))
+	for i, name := range SpeedupApps {
+		app := ctx.App(name)
+		ms[i] = machines{
+			fastBase: cpu.New(fast),
+			fastEnh:  cpu.New(fast, units()...),
+			slowBase: cpu.New(slow),
+			slowEnh:  cpu.New(slow, units()...),
+		}
+		demands[i] = Demand{
+			Sinks:     []trace.Sink{ms[i].fastBase, ms[i].fastEnh, ms[i].slowBase, ms[i].slowEnh},
+			Workloads: ctx.AppWorkloads(app),
+		}
+	}
+	finish := func() *SpeedupResult {
+		res := &SpeedupResult{
+			Title: title, FastLabel: fastLabel, SlowLabel: slowLabel, Ops: ops,
+			Rows: make([]SpeedupRow, len(SpeedupApps)),
+		}
+		for i, name := range SpeedupApps {
+			res.Rows[i] = SpeedupRow{
+				Name: name,
+				Fast: cellFrom(ms[i].fastBase, ms[i].fastEnh, ops),
+				Slow: cellFrom(ms[i].slowBase, ms[i].slowEnh, ops),
 			}
-			return us
 		}
-		fastBase := cpu.New(fast)
-		fastEnh := cpu.New(fast, units()...)
-		slowBase := cpu.New(slow)
-		slowEnh := cpu.New(slow, units()...)
-		for _, inName := range app.Inputs {
-			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale),
-				fastBase, fastEnh, slowBase, slowEnh)
-		}
-		res.Rows[i] = SpeedupRow{
-			Name: name,
-			Fast: cellFrom(fastBase, fastEnh, ops),
-			Slow: cellFrom(slowBase, slowEnh, ops),
-		}
-	})
-	return res
+		return res
+	}
+	return demands, finish
 }
 
 // cellFrom derives the paper's four columns from a baseline/enhanced
@@ -177,33 +199,58 @@ func (r *SpeedupResult) Average() SpeedupRow {
 	}
 }
 
-// Render prints the study in the paper's layout.
-func (r *SpeedupResult) Render() string {
-	tab := report.NewTable(r.Title, "app", "hit ratio",
+// Result builds the study as a typed table in the paper's layout.
+func (r *SpeedupResult) Result() *report.Result {
+	res := report.NewTableResult(r.Title, "app", "hit ratio",
 		"FE "+r.FastLabel, "SE", "Speedup",
 		"FE "+r.SlowLabel, "SE ", "Speedup ")
 	rows := append(append([]SpeedupRow(nil), r.Rows...), r.Average())
 	for _, row := range rows {
-		tab.AddRow(row.Name,
-			report.Ratio(row.Fast.HitRatio),
-			fmt.Sprintf("%.3f", row.Fast.FE),
-			fmt.Sprintf("%.2f", row.Fast.SE),
-			fmt.Sprintf("%.2f", row.Fast.Speedup),
-			fmt.Sprintf("%.3f", row.Slow.FE),
-			fmt.Sprintf("%.2f", row.Slow.SE),
-			fmt.Sprintf("%.2f", row.Slow.Speedup))
+		res.AddRow(report.Str(row.Name),
+			report.RatioCell(row.Fast.HitRatio),
+			report.FloatCell(row.Fast.FE, 3),
+			report.FloatCell(row.Fast.SE, 2),
+			report.FloatCell(row.Fast.Speedup, 2),
+			report.FloatCell(row.Slow.FE, 3),
+			report.FloatCell(row.Slow.SE, 2),
+			report.FloatCell(row.Slow.Speedup, 2))
 	}
-	return tab.String()
+	return res
 }
 
-// Table1 renders the static processor latency table the paper opens with.
-func Table1() string {
-	tab := report.NewTable("Table 1: cycle times of leading microprocessors",
+// Render prints the study in the paper's layout.
+func (r *SpeedupResult) Render() string { return report.Text(r.Result()) }
+
+// Table1 builds the static processor latency table the paper opens with.
+func Table1() *report.Result {
+	res := report.NewTableResult("Table 1: cycle times of leading microprocessors",
 		"processor", "multiplication", "division")
 	for _, p := range isa.Table1Processors() {
-		tab.AddRow(p.Name,
-			fmt.Sprintf("%d", p.Latency[isa.OpFMul]),
-			fmt.Sprintf("%d", p.Latency[isa.OpFDiv]))
+		res.AddRow(report.Str(p.Name),
+			report.Int(int64(p.Latency[isa.OpFMul])),
+			report.Int(int64(p.Latency[isa.OpFDiv])))
 	}
-	return tab.String()
+	return res
+}
+
+// planTable1 adapts the static table to the registry's plan shape: no
+// demands, finish renders directly.
+func planTable1(*Context) Plan {
+	return Plan{Finish: func() *report.Result { return Table1() }}
+}
+
+func init() {
+	speedupOps := []isa.Op{isa.OpFMul, isa.OpFDiv}
+	Register(Experiment{
+		Name:  "table1",
+		Title: "Cycle times of leading microprocessors (static)",
+		Ops:   speedupOps,
+		Plan:  planTable1,
+	})
+	register("table11", "Speedup, fp division memoized (13/39-cycle dividers)",
+		[]isa.Op{isa.OpFDiv}, planTable11)
+	register("table12", "Speedup, fp multiplication memoized (3/5-cycle multipliers)",
+		[]isa.Op{isa.OpFMul}, planTable12)
+	register("table13", "Speedup, fp multiplication and division memoized",
+		speedupOps, planTable13)
 }

@@ -7,7 +7,7 @@ import (
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/report"
-	"memotable/internal/workloads"
+	"memotable/internal/trace"
 )
 
 // Table9Apps are the eight applications of the paper's trivial-operation
@@ -35,43 +35,57 @@ type Table9Result struct {
 	Rows []Table9Row
 }
 
-// Table9 reproduces the trivial-operation policy comparison: for each
-// application, the fraction of trivial operations and the hit ratios
-// under the "all", "non" and "intgr" policies (32/4 tables).
-func Table9(eng *engine.Engine, scale Scale) *Table9Result {
-	res := &Table9Result{Rows: make([]Table9Row, len(Table9Apps))}
-	eng.Map(len(Table9Apps), func(i int) {
-		name := Table9Apps[i]
-		app, err := workloads.Lookup(name)
-		if err != nil {
-			panic(err)
+// planTable9 plans the trivial-operation policy comparison: for each
+// application, one ordered demand feeds three table sets — one per
+// policy — over the application's inputs (32/4 tables).
+func planTable9(ctx *Context) ([]Demand, func() *Table9Result) {
+	type policies struct {
+		all, non, intg *TableSet
+	}
+	ps := make([]policies, len(Table9Apps))
+	demands := make([]Demand, len(Table9Apps))
+	for i, name := range Table9Apps {
+		app := ctx.App(name)
+		ps[i] = policies{
+			all:  NewTableSet(memo.Paper32x4(), memo.CacheAll),
+			non:  NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly),
+			intg: NewTableSet(memo.Paper32x4(), memo.Integrated),
 		}
-		all := NewTableSet(memo.Paper32x4(), memo.CacheAll)
-		non := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
-		intg := NewTableSet(memo.Paper32x4(), memo.Integrated)
-		for _, inName := range app.Inputs {
-			replayRun(eng, appKey(name, inName, scale), appRunner(app, inName, scale), all, non, intg)
+		demands[i] = Demand{
+			Sinks:     []trace.Sink{ps[i].all, ps[i].non, ps[i].intg},
+			Workloads: ctx.AppWorkloads(app),
 		}
-		row := Table9Row{Name: name, Cell: map[isa.Op]Table9Cell{}}
-		for _, op := range ratioOps {
-			u := non.Unit(op)
-			if u.TotalOps() == 0 {
-				row.Cell[op] = Table9Cell{
-					TrivialFraction: math.NaN(), All: math.NaN(),
-					Non: math.NaN(), Integrated: math.NaN(),
+	}
+	finish := func() *Table9Result {
+		res := &Table9Result{Rows: make([]Table9Row, len(Table9Apps))}
+		for i, name := range Table9Apps {
+			row := Table9Row{Name: name, Cell: map[isa.Op]Table9Cell{}}
+			for _, op := range ratioOps {
+				u := ps[i].non.Unit(op)
+				if u.TotalOps() == 0 {
+					row.Cell[op] = Table9Cell{
+						TrivialFraction: math.NaN(), All: math.NaN(),
+						Non: math.NaN(), Integrated: math.NaN(),
+					}
+					continue
 				}
-				continue
+				row.Cell[op] = Table9Cell{
+					TrivialFraction: float64(u.TrivialOps()) / float64(u.TotalOps()),
+					All:             ps[i].all.HitRatio(op),
+					Non:             ps[i].non.HitRatio(op),
+					Integrated:      ps[i].intg.HitRatio(op),
+				}
 			}
-			row.Cell[op] = Table9Cell{
-				TrivialFraction: float64(u.TrivialOps()) / float64(u.TotalOps()),
-				All:             all.HitRatio(op),
-				Non:             non.HitRatio(op),
-				Integrated:      intg.HitRatio(op),
-			}
+			res.Rows[i] = row
 		}
-		res.Rows[i] = row
-	})
-	return res
+		return res
+	}
+	return demands, finish
+}
+
+// Table9 reproduces the policy comparison standalone on the given engine.
+func Table9(eng *engine.Engine, scale Scale) *Table9Result {
+	return runPlan(eng, scale, planTable9)
 }
 
 // Average returns the column means across applications, skipping '-'.
@@ -96,24 +110,31 @@ func (r *Table9Result) Average() Table9Row {
 	return avg
 }
 
-// Render prints Table 9 in the paper's layout (trv %, all, non, intgr per
-// class).
-func (r *Table9Result) Render() string {
-	tab := report.NewTable("Table 9: trivial-operation policies (32/4)",
+// Result builds Table 9 as a typed table in the paper's layout (trv %,
+// all, non, intgr per class).
+func (r *Table9Result) Result() *report.Result {
+	res := report.NewTableResult("Table 9: trivial-operation policies (32/4)",
 		"application",
 		"im trv", "im all", "im non", "im intgr",
 		"fm trv", "fm all", "fm non", "fm intgr",
 		"fd trv", "fd all", "fd non", "fd intgr")
 	rows := append(append([]Table9Row(nil), r.Rows...), r.Average())
 	for _, row := range rows {
-		cells := []string{row.Name}
+		cells := []report.Cell{report.Str(row.Name)}
 		for _, op := range ratioOps {
 			c := row.Cell[op]
 			cells = append(cells,
-				report.Ratio(c.TrivialFraction), report.Ratio(c.All),
-				report.Ratio(c.Non), report.Ratio(c.Integrated))
+				report.RatioCell(c.TrivialFraction), report.RatioCell(c.All),
+				report.RatioCell(c.Non), report.RatioCell(c.Integrated))
 		}
-		tab.AddRow(cells...)
+		res.AddRow(cells...)
 	}
-	return tab.String()
+	return res
+}
+
+// Render prints Table 9 in the paper's layout.
+func (r *Table9Result) Render() string { return report.Text(r.Result()) }
+
+func init() {
+	register("table9", "Trivial-operation policies at 32/4 (all/non/intgr)", ratioOps, planTable9)
 }

@@ -14,8 +14,9 @@
 //   - MEMO-TABLE construction and memo-enhanced units (NewTable, NewUnit);
 //   - operand trace capture and replay in the role the paper's Shade
 //     tracing played (Capture, Replay);
-//   - the paper's full experiment suite (Tables 5–13, Figures 2–4) via
-//     RunExperiment;
+//   - the paper's full experiment suite (Tables 5–13, Figures 2–4) as a
+//     declarative registry (Experiments, Run), with per-experiment text
+//     via RunExperiment;
 //   - the cycle simulator used for the speedup studies (cpu, via the
 //     experiments drivers).
 //
@@ -24,15 +25,14 @@
 package memotable
 
 import (
-	"fmt"
 	"io"
-	"sort"
 
 	"memotable/internal/engine"
 	"memotable/internal/experiments"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/probe"
+	"memotable/internal/report"
 	"memotable/internal/trace"
 )
 
@@ -198,41 +198,37 @@ const (
 	Full  = experiments.Full
 )
 
-// experimentRunners maps experiment names to their drivers.
-var experimentRunners = map[string]func(*Engine, Scale) string{
-	"table1":  func(*Engine, Scale) string { return experiments.Table1() },
-	"table5":  func(e *Engine, _ Scale) string { return experiments.Table5(e).Render() },
-	"table6":  func(e *Engine, _ Scale) string { return experiments.Table6(e).Render() },
-	"table7":  func(e *Engine, s Scale) string { return experiments.Table7(e, s).Render() },
-	"table8":  func(e *Engine, s Scale) string { return experiments.Table8(e, s).Render() },
-	"table9":  func(e *Engine, s Scale) string { return experiments.Table9(e, s).Render() },
-	"table10": func(e *Engine, s Scale) string { return experiments.Table10(e, s).Render() },
-	"table11": func(e *Engine, s Scale) string { return experiments.Table11(e, s).Render() },
-	"table12": func(e *Engine, s Scale) string { return experiments.Table12(e, s).Render() },
-	"table13": func(e *Engine, s Scale) string { return experiments.Table13(e, s).Render() },
-	"figure2": func(e *Engine, s Scale) string { return experiments.Figure2(e, s).Render() },
-	"sqrt-extension": func(e *Engine, s Scale) string {
-		return experiments.ExtensionSqrt(e, s).Render()
-	},
-	"recip-comparison": func(e *Engine, s Scale) string {
-		return experiments.ExtensionRecip(e, s).Render()
-	},
-	"reuse-comparison": func(e *Engine, s Scale) string {
-		return experiments.ReuseCompare(e, s).Render()
-	},
-	"figure3": func(e *Engine, s Scale) string { return experiments.Figure3(e, s).Render() },
-	"figure4": func(e *Engine, s Scale) string { return experiments.Figure4(e, s).Render() },
+// Experiment is one registered table or figure of the evaluation: its
+// name, title, measured operation classes, and plan function. The full
+// registry lives in internal/experiments; every entry is runnable by
+// name through Run.
+type Experiment = experiments.Experiment
+
+// Result is a typed experiment result tree; render it with RenderText or
+// RenderJSON.
+type Result = report.Result
+
+// Experiments lists the runnable experiment names, sorted.
+func Experiments() []string { return experiments.Names() }
+
+// AllExperiments returns the registered experiments sorted by name.
+func AllExperiments() []Experiment { return experiments.All() }
+
+// Run executes a selection of experiments (all of them when names is
+// empty) as one planned pass over the trace cache: every workload the
+// selection demands is captured once and replayed once, feeding all
+// subscribed experiments' sinks in a single fused pass. Results are
+// returned in selection order. All unknown names are reported in one
+// error.
+func Run(eng *Engine, scale Scale, names ...string) ([]*Result, error) {
+	return experiments.Run(eng, scale, names...)
 }
 
-// Experiments lists the runnable experiment names.
-func Experiments() []string {
-	names := make([]string, 0, len(experimentRunners))
-	for n := range experimentRunners {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+// RenderText renders a result as the paper-style text table.
+func RenderText(r *Result) string { return report.Text(r) }
+
+// RenderJSON renders a result as indented JSON (NaN cells become null).
+func RenderJSON(r *Result) ([]byte, error) { return report.JSON(r) }
 
 // RunExperiment reproduces one of the paper's tables or figures on the
 // reference serial path and returns its rendered text.
@@ -240,14 +236,16 @@ func RunExperiment(name string, scale Scale) (string, error) {
 	return RunExperimentWith(engine.Serial(), name, scale)
 }
 
-// RunExperimentWith runs one experiment on the given engine. Sharing one
-// engine across experiments shares its trace cache, so workloads common
-// to several tables are executed once per process rather than once per
-// table. Output is identical to RunExperiment for any worker count.
+// RunExperimentWith runs one experiment on the given engine and returns
+// its rendered text. Sharing one engine across experiments shares its
+// trace cache, so workloads common to several tables are executed once
+// per process rather than once per table. Output is identical to
+// RunExperiment for any worker count. To run several experiments with
+// replay passes fused across them, use Run.
 func RunExperimentWith(eng *Engine, name string, scale Scale) (string, error) {
-	run, ok := experimentRunners[name]
-	if !ok {
-		return "", fmt.Errorf("memotable: unknown experiment %q (have %v)", name, Experiments())
+	results, err := Run(eng, scale, name)
+	if err != nil {
+		return "", err
 	}
-	return run(eng, scale), nil
+	return report.Text(results[0]), nil
 }
