@@ -7,13 +7,20 @@
 //	memosim -list
 //	memosim [-scale tiny|quick|full] [-run all|table5,table6,...|figure4]
 //	        [-json] [-parallel N] [-tracedir DIR]
+//	        [-timeout D] [-keep-going] [-faults SPEC]
 //
 // A -run selection is executed as one planned pass: every workload the
 // selected experiments demand is captured once and replayed once,
 // feeding all their measurement sinks together.
+//
+// Exit codes: 0 on success; 1 when workloads failed and -keep-going is
+// not set (hard failure, no results printed); 2 on usage errors, and on
+// partial results under -keep-going (results printed, failed cells
+// rendered in an errors section and detailed on stderr).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"memotable"
+	"memotable/internal/faults"
 )
 
 func main() { os.Exit(run()) }
@@ -36,6 +44,12 @@ func run() int {
 		"experiment engine workers: 1 is serial, 0 selects GOMAXPROCS")
 	traceDirFlag := flag.String("tracedir", filepath.Join(os.TempDir(), "memosim-traces"),
 		"spill directory for operand traces that exceed the in-memory cache budget; empty disables the disk tier")
+	timeoutFlag := flag.Duration("timeout", 0,
+		"wall-clock budget for the whole run; on expiry the pass cancels cooperatively and remaining cells report as canceled (0 = no limit)")
+	keepGoingFlag := flag.Bool("keep-going", false,
+		"print partial results and exit 2 when workload cells fail, instead of aborting with exit 1")
+	faultsFlag := flag.String("faults", "",
+		"fault-injection spec (testing), e.g. 'seed=1;engine.spill.write:p=0.01'; overrides $FAULTS")
 	flag.Parse()
 
 	if *listFlag {
@@ -58,6 +72,21 @@ func run() int {
 		return 2
 	}
 
+	// Fault injection: the -faults spec wins over the FAULTS env var, so
+	// a test harness can set a process-wide default and override per run.
+	spec := *faultsFlag
+	if spec == "" {
+		spec = os.Getenv("FAULTS")
+	}
+	if spec != "" {
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memosim:", err)
+			return 2
+		}
+		faults.Activate(plan)
+	}
+
 	var names []string
 	if *runFlag != "all" {
 		names = strings.Split(*runFlag, ",")
@@ -75,17 +104,40 @@ func run() int {
 	if *traceDirFlag != "" {
 		eng.SetTraceDir(*traceDirFlag)
 	}
-	defer eng.Close()
+	defer func() { _ = eng.Close() }()
+
+	ctx := context.Background()
+	if *timeoutFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
 
 	// The whole selection runs as one planned pass; the registry reports
 	// every unknown name in the list at once, before running anything.
+	// Workload failures land in the pass report, not the error.
 	suiteStart := time.Now()
-	results, err := memotable.Run(eng, scale, names...)
+	results, rep, err := memotable.RunContext(ctx, eng, scale, names...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memosim:", err)
 		return 2
 	}
 	elapsed := time.Since(suiteStart)
+
+	exit := 0
+	if len(rep.Errors) > 0 || rep.Canceled {
+		for _, ce := range rep.Errors {
+			fmt.Fprintln(os.Stderr, "memosim:", ce)
+		}
+		if rep.Canceled {
+			fmt.Fprintln(os.Stderr, "memosim: run canceled before completion")
+		}
+		if !*keepGoingFlag {
+			fmt.Fprintln(os.Stderr, "memosim: aborting on failed cells (use -keep-going for partial results)")
+			return 1
+		}
+		exit = 2
+	}
 
 	if *jsonFlag {
 		fmt.Println("[")
@@ -102,7 +154,7 @@ func run() int {
 			fmt.Printf("%s%s\n", buf, sep)
 		}
 		fmt.Println("]")
-		return 0
+		return exit
 	}
 
 	for _, r := range results {
@@ -122,5 +174,5 @@ func run() int {
 		float64(evs)/elapsed.Seconds()/1e6)
 	fmt.Printf("engine: decoded-block cache: %d entries, %.1f MiB, %d decode-once hits\n",
 		eng.DecodedEntries(), float64(eng.DecodedBlockBytes())/(1<<20), eng.DecodeOnceHits())
-	return 0
+	return exit
 }

@@ -11,6 +11,9 @@
 // Format v2 frames the stream with CRC32C checksums so corruption is
 // detected on replay; -compress additionally DEFLATE-compresses each
 // frame. tracereplay reads either format.
+//
+// Exit codes: 0 on success, 1 when writing the trace fails, 2 on usage
+// errors (including unknown applications, kernels or inputs).
 package main
 
 import (
@@ -53,18 +56,18 @@ func main() {
 	case *app != "":
 		a, err := workloads.Lookup(*app)
 		if err != nil {
-			fail(err)
+			usage(err)
 		}
 		in := imaging.Find(*input)
 		if in == nil {
-			fail(fmt.Errorf("unknown input %q", *input))
+			usage(fmt.Errorf("unknown input %q", *input))
 		}
 		img := in.Image.Decimate(*maxDim)
 		run = func(p *memotable.Probe) { a.Run(p, img) }
 	default:
 		k, err := scientific.Lookup(*kernel)
 		if err != nil {
-			fail(err)
+			usage(err)
 		}
 		run = k.Run
 	}
@@ -88,7 +91,15 @@ func main() {
 	fmt.Printf("captured %d events to %s\n", n, *out)
 }
 
+// fail reports a write/capture failure: exit 1.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "tracecap:", err)
 	os.Exit(1)
+}
+
+// usage reports a bad selection (unknown app, kernel or input): exit 2,
+// like the flag-validation errors above.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "tracecap:", err)
+	os.Exit(2)
 }

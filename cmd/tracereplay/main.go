@@ -7,9 +7,14 @@
 //
 //	tracereplay -in trace.mtrc [-entries 32] [-ways 4] [-mantissa]
 //	            [-policy non|all|intgr]
+//
+// Exit codes: 0 on success, 1 on I/O failure, 2 on usage errors, 3 when
+// the input trace is corrupt or truncated (bad magic, torn frame, CRC
+// mismatch).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,7 +53,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 
 	cfg := memotable.Config{Entries: *entries, Ways: *ways, MantissaOnly: *mantissa}
 	stats, err := memotable.Replay(f, cfg, pol)
@@ -71,7 +76,13 @@ func main() {
 	}
 }
 
+// fail reports to stderr and exits with a code that distinguishes a
+// corrupt trace (3) from plain I/O failure (1), so scripted sweeps can
+// quarantine bad captures instead of retrying them.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "tracereplay:", err)
+	if errors.Is(err, memotable.ErrBadTrace) {
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
 
+	"memotable/internal/faults"
 	"memotable/internal/trace"
 )
 
@@ -71,7 +73,18 @@ func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error)
 	ent.blockBusy = true
 	e.mu.Unlock()
 
-	blocks, err := decodeBlocks(snap)
+	// The block.decode injection point: an injected error makes the tier
+	// unavailable for this replay (the caller falls back to the byte
+	// path); an injected panic unwinds to the replay's panic isolation.
+	if ferr := faults.Inject(faults.BlockDecode); ferr != nil {
+		e.mu.Lock()
+		e.reserved -= cost
+		ent.blockBusy = false
+		e.mu.Unlock()
+		return nil, nil
+	}
+
+	blocks, err := e.decodeBlocksRetrying(snap)
 
 	e.mu.Lock()
 	e.reserved -= cost
@@ -92,6 +105,23 @@ func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error)
 	return blocks, nil
 }
 
+// decodeBlocksRetrying decodes with the engine's spill-read retry
+// policy: a disk-tier decode that fails for a reason other than
+// corruption (an injected spill.read fault, a vanished file) is retried
+// with backoff before the caller gives up and invalidates the file.
+func (e *Engine) decodeBlocksRetrying(snap entrySnapshot) ([]traceBlock, error) {
+	if snap.state != stateDisk {
+		return decodeBlocks(snap)
+	}
+	var blocks []traceBlock
+	err := e.withSpillRetry(func() error {
+		var derr error
+		blocks, derr = decodeBlocks(snap)
+		return derr
+	})
+	return blocks, err
+}
+
 // decodeBlocks decodes a settled entry's whole stream — memory bytes or
 // spill file — into owned blocks. For spill files the frame checksums are
 // verified by the decode itself, so a torn or corrupt file fails here
@@ -99,11 +129,14 @@ func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error)
 func decodeBlocks(snap entrySnapshot) ([]traceBlock, error) {
 	var src io.Reader
 	if snap.state == stateDisk {
+		if err := faults.Inject(faults.SpillRead); err != nil {
+			return nil, err
+		}
 		f, err := os.Open(snap.path)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		src = f
 	} else {
 		src = bytes.NewReader(snap.data)
@@ -145,9 +178,19 @@ func decodeBlocks(snap entrySnapshot) ([]traceBlock, error) {
 // emitBlocks feeds every block to every sink whose class mask intersects
 // the block's, in block order — the single fused pass ReplayAll makes
 // over a decoded stream. It returns the total event count of the stream.
-func emitBlocks(blocks []traceBlock, sinks []trace.Sink, masks []trace.OpMask) uint64 {
+// Cancellation is checked between blocks (one atomic-ish Err probe per
+// 8192 events); a cancellation or an injected sink.emit fault observed
+// mid-stream returns with the sinks partially fed, so callers must
+// treat the cell as failed.
+func emitBlocks(ctx context.Context, blocks []traceBlock, sinks []trace.Sink, masks []trace.OpMask) (uint64, error) {
 	var n uint64
 	for i := range blocks {
+		if ctx.Err() != nil {
+			return n, ctxErr(ctx)
+		}
+		if err := faults.Inject(faults.SinkEmit); err != nil {
+			return n, fmt.Errorf("replay delivery: %w", err)
+		}
 		b := &blocks[i]
 		n += uint64(len(b.events))
 		for j, s := range sinks {
@@ -156,5 +199,5 @@ func emitBlocks(blocks []traceBlock, sinks []trace.Sink, masks []trace.OpMask) u
 			}
 		}
 	}
-	return n
+	return n, nil
 }

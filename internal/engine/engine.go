@@ -38,13 +38,16 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"memotable/internal/faults"
 	"memotable/internal/trace"
 )
 
@@ -127,12 +130,18 @@ type Engine struct {
 	spillDir   string
 	traces     map[string]*traceEntry
 
+	// Failure-model knobs (errors.go): transient spill I/O retries.
+	retryAttempts int
+	retryBase     time.Duration
+
 	// Counters (atomic; exposed for benchmarks and reports).
-	captures   atomic.Uint64 // workload executions performed
-	replays    atomic.Uint64 // cache replays served (both tiers)
-	recaptures atomic.Uint64 // spill files invalidated by checksum and re-captured
-	decodeHits atomic.Uint64 // replays served from shared decoded blocks
-	replayedEv atomic.Uint64 // events delivered by cache replays
+	captures    atomic.Uint64 // workload executions performed
+	replays     atomic.Uint64 // cache replays served (both tiers)
+	recaptures  atomic.Uint64 // spill files invalidated by checksum and re-captured
+	decodeHits  atomic.Uint64 // replays served from shared decoded blocks
+	replayedEv  atomic.Uint64 // events delivered by cache replays
+	spillRetry  atomic.Uint64 // spill I/O operations retried after a transient failure
+	degradedCap atomic.Uint64 // captures degraded to direct re-execution by persistent spill failure
 }
 
 // New builds an engine with the given worker count (<= 0 selects
@@ -142,10 +151,12 @@ func New(workers int) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		workers:    workers,
-		cacheLimit: DefaultCacheBytes,
-		blockCache: true,
-		traces:     make(map[string]*traceEntry),
+		workers:       workers,
+		cacheLimit:    DefaultCacheBytes,
+		blockCache:    true,
+		traces:        make(map[string]*traceEntry),
+		retryAttempts: defaultRetryAttempts,
+		retryBase:     defaultRetryBase,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	return e
@@ -172,10 +183,17 @@ func (e *Engine) SetCacheLimit(n int64) {
 // memory budget stream into CRC-framed trace files under dir, created on
 // demand. An empty dir disables the tier. Enabling it re-arms captures
 // that were previously declined for space.
+//
+// SetTraceDir also sweeps the directory for orphaned spill temp files
+// (*.mtrc.tmp) left by a process that died between creating a spill file
+// and sealing it — sealed files are renamed out of the temp suffix, so
+// anything still wearing it is garbage. The sweep assumes the directory
+// is not shared with a concurrently spilling process.
 func (e *Engine) SetTraceDir(dir string) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.spillDir = dir
+	e.mu.Unlock()
+	sweepSpillOrphans(dir)
 }
 
 // TraceDir returns the spill directory ("" when the tier is disabled).
@@ -203,11 +221,13 @@ func (e *Engine) SetBlockCache(on bool) {
 	}
 }
 
-// Close removes the engine's spill files. The engine stays usable —
+// Close removes the engine's spill files and sweeps any orphaned spill
+// temp files from the trace directory. The engine stays usable —
 // spilled entries revert to stateEmpty and would be re-captured — but
 // Close is meant for the end of a run, after all cells have finished.
 func (e *Engine) Close() error {
 	e.mu.Lock()
+	dir := e.spillDir
 	var paths []string
 	for _, ent := range e.traces {
 		if ent.state == stateDisk {
@@ -229,6 +249,7 @@ func (e *Engine) Close() error {
 			firstErr = err
 		}
 	}
+	sweepSpillOrphans(dir)
 	return firstErr
 }
 
@@ -307,6 +328,16 @@ func (e *Engine) DecodeOnceHits() uint64 { return e.decodeHits.Load() }
 // (fused replays count their stream once, not once per sink).
 func (e *Engine) ReplayedEvents() uint64 { return e.replayedEv.Load() }
 
+// SpillRetries returns how many spill I/O operations were retried after
+// a transient failure.
+func (e *Engine) SpillRetries() uint64 { return e.spillRetry.Load() }
+
+// DegradedCaptures returns how many captures were degraded to direct
+// re-execution because their spill I/O kept failing after the bounded
+// retries. A degraded workload still produces byte-identical results —
+// it just re-executes on every replay instead of being cached.
+func (e *Engine) DegradedCaptures() uint64 { return e.degradedCap.Load() }
+
 // Map runs cell(0..n-1) across the worker pool and returns when all
 // cells have finished. Cells must be independent: each writes only its
 // own result slot, which is what keeps aggregation order-independent. A
@@ -359,8 +390,11 @@ func (e *Engine) Map(n int, cell func(i int)) {
 // callers for the same key singleflight: exactly one captures, the rest
 // wait on the engine's condition variable. A declined entry re-arms here
 // when the budget has grown or a spill tier has appeared since the
-// decline was recorded.
-func (e *Engine) ensure(key string, capture CaptureFunc) entrySnapshot {
+// decline was recorded. A capture whose workload fails (an error from
+// the capture.run injection point, or a panic inside the workload)
+// re-arms the entry for later callers and returns the failure, wrapping
+// ErrCaptureFailed, to the caller that triggered it.
+func (e *Engine) ensure(key string, capture CaptureFunc) (entrySnapshot, error) {
 	e.mu.Lock()
 	ent, ok := e.traces[key]
 	if !ok {
@@ -372,18 +406,20 @@ func (e *Engine) ensure(key string, capture CaptureFunc) entrySnapshot {
 		case stateMemory, stateDisk:
 			snap := entrySnapshot{state: ent.state, data: ent.data, events: ent.events, path: ent.path}
 			e.mu.Unlock()
-			return snap
+			return snap, nil
 		case stateDeclined:
 			if e.cacheLimit > ent.declinedLimit || (e.spillDir != "" && !ent.declinedSpill) {
 				ent.state = stateEmpty // conditions improved: re-arm
 				continue
 			}
 			e.mu.Unlock()
-			return entrySnapshot{state: stateDeclined}
+			return entrySnapshot{state: stateDeclined}, nil
 		case stateEmpty:
 			ent.state = stateInflight
 			e.mu.Unlock()
-			e.store(ent, capture)
+			if err := e.store(ent, capture); err != nil {
+				return entrySnapshot{}, err
+			}
 			e.mu.Lock()
 		case stateInflight:
 			e.cond.Wait()
@@ -394,9 +430,12 @@ func (e *Engine) ensure(key string, capture CaptureFunc) entrySnapshot {
 // Warm ensures key's trace is captured and stored (tier permitting)
 // without replaying it anywhere. Drivers call it over their workload
 // list up front so the replay fan-out never stalls a cell on a capture
-// (captures themselves serialize on the global capture lock).
-func (e *Engine) Warm(key string, capture CaptureFunc) {
-	e.ensure(key, capture)
+// (captures themselves serialize on the global capture lock). A failing
+// workload surfaces here wrapping ErrCaptureFailed; the entry stays
+// re-armed, so a later Replay retries rather than inheriting the fault.
+func (e *Engine) Warm(key string, capture CaptureFunc) error {
+	_, err := e.ensure(key, capture)
+	return err
 }
 
 // maxSpillAttempts bounds how many times one Replay call will invalidate
@@ -414,15 +453,28 @@ func (e *Engine) Replay(key string, capture CaptureFunc, sink trace.Sink) (uint6
 	return e.ReplayAll(key, capture, []trace.Sink{sink})
 }
 
-// ReplayAll feeds key's operand stream into every sink in one fused pass
-// and returns the event count: M configuration sinks cost one decode of
-// the stream, not M. The first fused replay of a key decodes its bytes
-// into the shared decoded-block tier (budget permitting) and later
-// replays of the key — fused or not — walk the blocks read-only; blocks
-// whose events all fall outside a sink's advertised class mask skip that
-// sink entirely. Every sink observes the exact event sequence a serial
-// Replay would deliver it.
+// ReplayAll is ReplayAllContext without cancellation.
 func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) (uint64, error) {
+	return e.ReplayAllContext(context.Background(), key, capture, sinks)
+}
+
+// ReplayAllContext feeds key's operand stream into every sink in one
+// fused pass and returns the event count: M configuration sinks cost one
+// decode of the stream, not M. The first fused replay of a key decodes
+// its bytes into the shared decoded-block tier (budget permitting) and
+// later replays of the key — fused or not — walk the blocks read-only;
+// blocks whose events all fall outside a sink's advertised class mask
+// skip that sink entirely. Every sink observes the exact event sequence
+// a serial Replay would deliver it.
+//
+// Cancellation is checked before the capture boundary and between
+// decoded blocks during replay; a cancellation observed mid-stream
+// returns wrapping ErrCanceled with the sinks partially fed, so the
+// caller must treat the cell as failed. Transient spill-read failures
+// are retried with backoff; a spill file that stays unreadable is
+// invalidated and transparently re-captured, and errors that survive
+// all of that wrap ErrSpillIO or ErrCorruptTrace.
+func (e *Engine) ReplayAllContext(ctx context.Context, key string, capture CaptureFunc, sinks []trace.Sink) (uint64, error) {
 	if len(sinks) == 0 {
 		return 0, nil
 	}
@@ -433,14 +485,23 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 		fanout = trace.Multi(sinks)
 	}
 	for attempt := 1; ; attempt++ {
-		snap := e.ensure(key, capture)
+		if ctx.Err() != nil {
+			return 0, ctxErr(ctx)
+		}
+		snap, err := e.ensure(key, capture)
+		if err != nil {
+			return 0, err
+		}
 		switch snap.state {
 		case stateDeclined:
+			// No tier holds the stream: degrade to direct re-execution,
+			// through the same guarded path captures take (capture.run
+			// injection, panic recovery, capture-lock hygiene).
 			e.captures.Add(1)
 			cs := &countingSink{next: fanout}
-			captureMu.Lock()
-			capture(cs)
-			captureMu.Unlock()
+			if err := runCapture(capture, cs); err != nil {
+				return cs.n, fmt.Errorf("engine: workload %q: %w: %w", key, ErrCaptureFailed, err)
+			}
 			return cs.n, nil
 
 		case stateMemory:
@@ -451,13 +512,19 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 				return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
 			}
 			if blocks != nil {
-				n := emitBlocks(blocks, sinks, trace.SinkMasks(sinks))
+				n, err := emitBlocks(ctx, blocks, sinks, trace.SinkMasks(sinks))
+				if err != nil {
+					return n, fmt.Errorf("engine: cached trace %q: %w", key, err)
+				}
 				e.replays.Add(1)
 				e.replayedEv.Add(n)
 				return n, nil
 			}
 			// No room for blocks: one batched decode pass feeds the
 			// whole fan-out.
+			if err := faults.Inject(faults.SinkEmit); err != nil {
+				return 0, fmt.Errorf("engine: cached trace %q: replay delivery: %w", key, err)
+			}
 			r, err := trace.NewReader(bytes.NewReader(snap.data))
 			if err != nil {
 				return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
@@ -480,14 +547,16 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 			// verify-then-replay byte path below.
 			blocks, err := e.blocksFor(key, snap)
 			if err != nil {
-				e.invalidateSpill(key, snap.path)
-				if attempt >= maxSpillAttempts {
-					return 0, fmt.Errorf("engine: spilled trace %q unreadable after %d attempts: %w", key, attempt, err)
+				if err = e.retireSpill(key, snap, attempt, err); err != nil {
+					return 0, err
 				}
 				continue
 			}
 			if blocks != nil {
-				n := emitBlocks(blocks, sinks, trace.SinkMasks(sinks))
+				n, err := emitBlocks(ctx, blocks, sinks, trace.SinkMasks(sinks))
+				if err != nil {
+					return n, fmt.Errorf("engine: spilled trace %q: %w", key, err)
+				}
 				e.replays.Add(1)
 				e.replayedEv.Add(n)
 				return n, nil
@@ -496,12 +565,14 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 			// emitted: a corrupt or torn file must be caught while the
 			// sink is still untouched, so re-capturing stays
 			// transparent to the caller.
-			if err := e.verifySpill(snap.path, snap.events); err != nil {
-				e.invalidateSpill(key, snap.path)
-				if attempt >= maxSpillAttempts {
-					return 0, fmt.Errorf("engine: spilled trace %q unreadable after %d attempts: %w", key, attempt, err)
+			if err := e.withSpillRetry(func() error { return e.verifySpill(snap.path, snap.events) }); err != nil {
+				if err = e.retireSpill(key, snap, attempt, err); err != nil {
+					return 0, err
 				}
 				continue
+			}
+			if err := faults.Inject(faults.SinkEmit); err != nil {
+				return 0, fmt.Errorf("engine: spilled trace %q: replay delivery: %w", key, err)
 			}
 			n, err := e.replaySpill(snap, fanout)
 			if err != nil {
@@ -509,7 +580,7 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 				// us): the sink has seen partial events, so a silent
 				// re-capture would double-feed it. Surface the error.
 				e.invalidateSpill(key, snap.path)
-				return n, fmt.Errorf("engine: spilled trace %q: %w", key, err)
+				return n, fmt.Errorf("engine: spilled trace %q: %w: %w", key, ErrSpillIO, err)
 			}
 			e.replays.Add(1)
 			e.replayedEv.Add(n)
@@ -518,14 +589,53 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 	}
 }
 
+// retireSpill handles an unreadable spill file during replay: the file
+// is invalidated (the next ensure re-captures) and nil is returned so
+// the caller retries — until the attempt budget is spent, at which point
+// the failure surfaces wrapping ErrCorruptTrace (frame verification
+// failed) or ErrSpillIO (the file could not be read at all).
+func (e *Engine) retireSpill(key string, snap entrySnapshot, attempt int, err error) error {
+	e.invalidateSpill(key, snap.path)
+	if attempt < maxSpillAttempts {
+		return nil
+	}
+	kind := ErrSpillIO
+	if errors.Is(err, trace.ErrBadTrace) {
+		kind = ErrCorruptTrace
+	}
+	return fmt.Errorf("engine: spilled trace %q unreadable after %d attempts: %w: %w", key, attempt, kind, err)
+}
+
+// withSpillRetry runs a spill-read operation, retrying transient
+// failures with jittered backoff under the engine's retry policy.
+// Corruption (trace.ErrBadTrace) is never retried: re-reading a file
+// with a bad checksum cannot fix it, only re-capturing can.
+func (e *Engine) withSpillRetry(op func() error) error {
+	attempts, base := e.retryPolicy()
+	var err error
+	for try := 0; ; try++ {
+		if err = op(); err == nil || errors.Is(err, trace.ErrBadTrace) {
+			return err
+		}
+		if try >= attempts {
+			return err
+		}
+		e.spillRetry.Add(1)
+		backoff(base, try+1)
+	}
+}
+
 // verifySpill checksums every frame of a spill file and checks the total
 // event count against the capture's, without emitting anything.
 func (e *Engine) verifySpill(path string, events uint64) error {
+	if err := faults.Inject(faults.SpillRead); err != nil {
+		return err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	n, err := trace.Verify(f)
 	if err != nil {
 		return err
@@ -538,11 +648,14 @@ func (e *Engine) verifySpill(path string, events uint64) error {
 
 // replaySpill streams a verified spill file into sink.
 func (e *Engine) replaySpill(snap entrySnapshot, sink trace.Sink) (uint64, error) {
+	if err := faults.Inject(faults.SpillRead); err != nil {
+		return 0, err
+	}
 	f, err := os.Open(snap.path)
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	r, err := trace.NewReader(f)
 	if err != nil {
 		return 0, err
@@ -574,38 +687,111 @@ func (e *Engine) invalidateSpill(key, path string) {
 		e.recaptures.Add(1)
 	}
 	e.mu.Unlock()
-	os.Remove(path)
+	_ = os.Remove(path)
 }
 
-// store performs the one capture for an in-flight entry and settles it
-// into a terminal state: memory when the encoding fits the reserved
-// budget, disk when it overflows and a spill directory is set, declined
-// otherwise. The caller has already moved the entry to stateInflight.
-func (e *Engine) store(ent *traceEntry, capture CaptureFunc) {
-	finished := false
+// runCapture executes a workload capture under the process-wide capture
+// lock, converting a panicking workload into an error instead of letting
+// it unwind with the lock held. The capture.run injection point fires
+// here, so captures and declined direct re-executions share one fault
+// edge.
+func runCapture(capture CaptureFunc, sink trace.Sink) (err error) {
 	defer func() {
-		if finished {
-			return
+		if r := recover(); r != nil {
+			err = panicError(r)
 		}
-		// The capture panicked mid-flight. Re-arm the entry so waiters
-		// (and later requests) retry rather than hang, and let the
-		// panic propagate to Map's collector.
-		e.mu.Lock()
-		ent.state = stateEmpty
-		e.cond.Broadcast()
-		e.mu.Unlock()
 	}()
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if ferr := faults.Inject(faults.CaptureRun); ferr != nil {
+		return ferr
+	}
+	capture(sink)
+	return nil
+}
 
+// captureOutcome classifies one capture attempt for store's retry loop.
+type captureOutcome uint8
+
+const (
+	captureStored   captureOutcome = iota // entry settled into memory or disk
+	captureFailed                         // the workload itself errored or panicked
+	captureSpillErr                       // spill-tier I/O failed; the capture may be retried
+	captureNoRoom                         // no tier has room; decline
+)
+
+// store performs the capture for an in-flight entry and settles it into
+// a terminal state: memory when the encoding fits the reserved budget,
+// disk when it overflows and a spill directory is set, declined
+// otherwise. Transient spill I/O failures re-run the capture (captures
+// are deterministic by contract) with jittered backoff; a spill tier
+// that keeps failing degrades the workload to a decline, so replays
+// direct-run it rather than losing the cell. A failing workload settles
+// the entry back to empty — later callers retry — and the failure is
+// returned wrapping ErrCaptureFailed. The caller has already moved the
+// entry to stateInflight.
+func (e *Engine) store(ent *traceEntry, capture CaptureFunc) error {
+	attempts, base := e.retryPolicy()
+	for try := 0; ; try++ {
+		outcome, err := e.captureOnce(ent, capture)
+		switch outcome {
+		case captureStored:
+			return nil
+		case captureFailed:
+			e.settle(ent, stateEmpty)
+			return fmt.Errorf("%w: %w", ErrCaptureFailed, err)
+		case captureNoRoom:
+			e.settleDeclined(ent)
+			return nil
+		}
+		if try >= attempts {
+			// Persistent spill failure: degrade to direct re-execution.
+			// Results stay byte-identical; the workload just re-runs on
+			// every replay instead of being cached.
+			e.degradedCap.Add(1)
+			e.settleDeclined(ent)
+			return nil
+		}
+		e.spillRetry.Add(1)
+		backoff(base, try+1)
+	}
+}
+
+// settle moves an in-flight entry to the given state and wakes waiters.
+func (e *Engine) settle(ent *traceEntry, s entryState) {
+	e.mu.Lock()
+	ent.state = s
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// settleDeclined records a decline with the conditions that produced it,
+// so the entry re-arms when either improves.
+func (e *Engine) settleDeclined(ent *traceEntry) {
+	e.mu.Lock()
+	ent.state = stateDeclined
+	ent.declinedLimit = e.cacheLimit
+	ent.declinedSpill = e.spillDir != ""
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// captureOnce runs one capture attempt and either adopts its encoding
+// into a tier (settling the entry) or classifies the failure for store's
+// retry loop. On anything but captureStored the arm's resources are
+// released and the entry is left in stateInflight for the caller to
+// settle.
+func (e *Engine) captureOnce(ent *traceEntry, capture CaptureFunc) (captureOutcome, error) {
 	e.captures.Add(1)
 	arm := &captureArm{e: e, mem: true}
 	tw, err := trace.NewWriterV2(arm, false)
 	if err == nil {
-		captureMu.Lock()
-		capture(tw)
-		captureMu.Unlock()
+		if cerr := runCapture(capture, tw); cerr != nil {
+			arm.discard()
+			return captureFailed, cerr
+		}
 		err = tw.Flush()
 	}
-	finished = true
 
 	if err == nil && arm.mem {
 		// The whole stream fits the memory reservation: adopt it.
@@ -617,7 +803,7 @@ func (e *Engine) store(ent *traceEntry, capture CaptureFunc) {
 		ent.state = stateMemory
 		e.cond.Broadcast()
 		e.mu.Unlock()
-		return
+		return captureStored, nil
 	}
 	if err == nil && arm.f != nil {
 		if cerr := arm.seal(); cerr == nil {
@@ -627,20 +813,19 @@ func (e *Engine) store(ent *traceEntry, capture CaptureFunc) {
 			ent.state = stateDisk
 			e.cond.Broadcast()
 			e.mu.Unlock()
-			return
+			return captureStored, nil
+		} else {
+			err = cerr
 		}
 	}
 
-	// Neither tier could hold the capture: release whatever the arm
-	// still holds and record the conditions so the decline re-arms when
-	// they improve.
+	// The capture encoded fine but no tier adopted it: release whatever
+	// the arm still holds and classify why.
 	arm.discard()
-	e.mu.Lock()
-	ent.state = stateDeclined
-	ent.declinedLimit = e.cacheLimit
-	ent.declinedSpill = e.spillDir != ""
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	if err == nil || errors.Is(err, errCacheFull) {
+		return captureNoRoom, nil
+	}
+	return captureSpillErr, fmt.Errorf("%w: %w", ErrSpillIO, err)
 }
 
 // errCacheFull aborts a capture no tier can hold.

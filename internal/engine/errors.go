@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The engine's failure model. Every fault on an I/O or compute edge is
+// either retried (transient spill I/O, with jittered backoff), degraded
+// (a permanently unspillable capture declines and the workload direct-
+// runs on every replay), or reported (as a typed *CellError in the
+// PassReport of the pass that observed it). The sentinels below form the
+// errors.Is-able taxonomy callers classify against; DESIGN.md §10 maps
+// every injection point to its sentinel.
+
+// Sentinel errors of the failure taxonomy.
+var (
+	// ErrCanceled marks work abandoned because the pass context was
+	// canceled or its deadline expired.
+	ErrCanceled = errors.New("engine: pass canceled")
+	// ErrCaptureFailed marks a workload whose capture (or declined
+	// direct re-execution) returned a fault or panicked.
+	ErrCaptureFailed = errors.New("engine: workload capture failed")
+	// ErrSpillIO marks spill-tier I/O that kept failing after the
+	// bounded retries.
+	ErrSpillIO = errors.New("engine: spill I/O failed")
+	// ErrCorruptTrace marks a trace whose frames failed verification
+	// even after transparent re-capture attempts.
+	ErrCorruptTrace = errors.New("engine: corrupt trace")
+	// ErrSinkPanic marks a measurement sink that panicked mid-replay;
+	// every sink fed by that replay may have observed a torn stream.
+	ErrSinkPanic = errors.New("engine: sink panicked during replay")
+)
+
+// CellError attributes one failure to the workload cell that observed
+// it. Key is the workload's cache key, Stage the execution edge that
+// failed ("capture", "replay", "sink" or "schedule"), and Err the
+// underlying cause, always wrapping one of the taxonomy sentinels.
+type CellError struct {
+	Key   string
+	Stage string
+	Err   error
+}
+
+// Error implements error.
+func (c *CellError) Error() string {
+	return fmt.Sprintf("workload %q: %s: %v", c.Key, c.Stage, c.Err)
+}
+
+// Unwrap exposes the cause for errors.Is / errors.As classification.
+func (c *CellError) Unwrap() error { return c.Err }
+
+// PassReport is the degraded-mode outcome of one RunPassContext: which
+// workload cells failed and why, and whether the pass was cut short by
+// cancellation. A report with no errors is a fully successful pass.
+type PassReport struct {
+	mu sync.Mutex
+	// Canceled is set when the pass context was done before every
+	// workload replayed.
+	Canceled bool
+	// Errors holds one entry per failed workload, sorted by key. A
+	// workload appears at most once however many subscriptions share it.
+	Errors []*CellError
+}
+
+// add records a cell failure (concurrent components report in parallel).
+func (r *PassReport) add(ce *CellError) {
+	r.mu.Lock()
+	r.Errors = append(r.Errors, ce)
+	r.mu.Unlock()
+}
+
+// seal sorts the errors by workload key so reports are deterministic.
+func (r *PassReport) seal() {
+	sort.Slice(r.Errors, func(i, j int) bool { return r.Errors[i].Key < r.Errors[j].Key })
+}
+
+// Err returns the first cell error, or nil for a clean pass — the
+// fail-fast view legacy RunPass callers see.
+func (r *PassReport) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	return r.Errors[0]
+}
+
+// Failed reports whether the named workload failed in this pass.
+func (r *PassReport) Failed(key string) bool {
+	for _, ce := range r.Errors {
+		if ce.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// FailedKeys lists the failed workload keys in sorted order.
+func (r *PassReport) FailedKeys() []string {
+	keys := make([]string, len(r.Errors))
+	for i, ce := range r.Errors {
+		keys[i] = ce.Key
+	}
+	return keys
+}
+
+// Retry policy defaults: transient spill I/O is retried up to
+// defaultRetryAttempts times with exponential backoff starting at
+// defaultRetryBase (full jitter, so concurrent retries decorrelate).
+const (
+	defaultRetryAttempts = 3
+	defaultRetryBase     = 2 * time.Millisecond
+)
+
+// SetRetryPolicy adjusts how transient spill I/O failures are retried:
+// at most attempts retries per operation, with jittered exponential
+// backoff starting at base. attempts <= 0 disables retries (a first
+// failure degrades immediately); base <= 0 retries without sleeping —
+// what fault-injection tests use to keep soak wall-clock flat.
+func (e *Engine) SetRetryPolicy(attempts int, base time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retryAttempts = attempts
+	e.retryBase = base
+}
+
+// retryPolicy snapshots the engine's retry knobs.
+func (e *Engine) retryPolicy() (int, time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.retryAttempts, e.retryBase
+}
+
+// backoff sleeps before retry number attempt (1-based): full-jitter
+// exponential, capped at 64x base so a deep retry cannot stall a worker
+// for long.
+func backoff(base time.Duration, attempt int) {
+	if base <= 0 {
+		return
+	}
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	max := base << shift
+	time.Sleep(time.Duration(rand.Int64N(int64(max)) + 1))
+}
+
+// panicError converts a recovered panic value into an error, preserving
+// an error-typed panic (an injected *faults.Fault, say) as the cause.
+func panicError(r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("panic: %w", err)
+	}
+	return fmt.Errorf("panic: %v", r)
+}
+
+// ctxErr wraps a context's termination in ErrCanceled so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled) (or
+// DeadlineExceeded) classify it.
+func ctxErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}

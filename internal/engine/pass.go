@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -56,15 +58,39 @@ type passNode struct {
 	done    bool
 }
 
-// RunPass replays every workload named by the subscriptions exactly
-// once, feeding all subscribed sinks in one fused ReplayAll per
+// RunPass is RunPassContext without cancellation and with fail-fast
+// error reporting: planning errors and the first cell failure (if any)
+// are returned as one error.
+func (e *Engine) RunPass(subs []Subscription) error {
+	rep, err := e.RunPassContext(context.Background(), subs)
+	if err != nil {
+		return err
+	}
+	return rep.Err()
+}
+
+// RunPassContext replays every workload named by the subscriptions
+// exactly once, feeding all subscribed sinks in one fused ReplayAll per
 // workload. Workloads are first warmed (captured) across the worker
 // pool; replays then run with independent workload chains in parallel —
 // two workloads replay concurrently only when no subscription (and no
 // shared sink) connects them, so every sink observes exactly its
 // declared stream sequence and results are bit-identical at any worker
 // count.
-func (e *Engine) RunPass(subs []Subscription) error {
+//
+// The pass degrades instead of aborting: a failing cell — a workload
+// whose capture errors or panics, a sink that panics mid-replay, an
+// unreadable trace that survived retry and re-capture — is recorded as
+// a typed *CellError in the returned PassReport and the rest of the
+// pass keeps going, so one poisoned cell costs its subscribers, not the
+// whole matrix. Cancellation is cooperative: the context is checked
+// before each capture, before each workload replay, and between decoded
+// blocks mid-replay; once it fires, remaining workloads report
+// ErrCanceled and the report is marked Canceled. The error return is
+// reserved for planning defects (empty keys, repeated workloads,
+// inconsistent subscription orders) — failures of the pass's shape, not
+// of any one cell.
+func (e *Engine) RunPassContext(ctx context.Context, subs []Subscription) (*PassReport, error) {
 	ids := make(map[string]int)
 	var nodes []*passNode
 	nodeOf := func(w PassWorkload) (int, error) {
@@ -108,12 +134,12 @@ func (e *Engine) RunPass(subs []Subscription) error {
 		prev := -1
 		for _, w := range sub.Workloads {
 			if seen[w.Key] {
-				return fmt.Errorf("engine: subscription names workload %q twice", w.Key)
+				return nil, fmt.Errorf("engine: subscription names workload %q twice", w.Key)
 			}
 			seen[w.Key] = true
 			id, err := nodeOf(w)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for len(parent) <= id {
 				parent = append(parent, len(parent))
@@ -137,12 +163,19 @@ func (e *Engine) RunPass(subs []Subscription) error {
 		}
 	}
 	if len(nodes) == 0 {
-		return nil
+		return &PassReport{}, nil
 	}
 
 	// Warm phase: every capture runs (once, singleflighted) before any
 	// replay, so the replay fan-out never stalls a chain on a capture.
-	e.Map(len(nodes), func(i int) { e.Warm(nodes[i].key, nodes[i].capture) })
+	// Warm failures are deliberately dropped here — the replay phase is
+	// authoritative and will observe (and attribute) the same failure, or
+	// succeed outright if the fault was transient.
+	e.Map(len(nodes), func(i int) {
+		if ctx.Err() == nil {
+			_ = e.Warm(nodes[i].key, nodes[i].capture)
+		}
+	})
 
 	// Group nodes into components, ordered by their smallest node id so
 	// the schedule is deterministic.
@@ -157,22 +190,31 @@ func (e *Engine) RunPass(subs []Subscription) error {
 	}
 	sort.Ints(roots)
 
-	errs := make([]error, len(roots))
+	rep := &PassReport{}
+	planErrs := make([]error, len(roots))
 	e.Map(len(roots), func(ci int) {
-		errs[ci] = e.runComponent(nodes, compOf[roots[ci]])
+		planErrs[ci] = e.runComponent(ctx, rep, nodes, compOf[roots[ci]])
 	})
-	for _, err := range errs {
+	for _, err := range planErrs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	if ctx.Err() != nil {
+		rep.Canceled = true
+	}
+	rep.seal()
+	return rep, nil
 }
 
 // runComponent replays one connected component's workloads in a
 // topological order of the subscription chains (Kahn's algorithm with a
-// smallest-id tie break, so the order is deterministic).
-func (e *Engine) runComponent(nodes []*passNode, comp []int) error {
+// smallest-id tie break, so the order is deterministic). A workload
+// whose replay fails is recorded in rep and its successors still run —
+// their streams are independent captures, so one poisoned cell must not
+// starve the rest of the chain. Only the inconsistent-ordering planning
+// defect is returned as an error.
+func (e *Engine) runComponent(ctx context.Context, rep *PassReport, nodes []*passNode, comp []int) error {
 	sort.Ints(comp)
 	remaining := len(comp)
 	for remaining > 0 {
@@ -194,9 +236,10 @@ func (e *Engine) runComponent(nodes []*passNode, comp []int) error {
 			return fmt.Errorf("engine: subscriptions order workloads inconsistently (no single-pass schedule for %v)", stuck)
 		}
 		n := nodes[picked]
-		sinks := trace.Flatten(n.groups...)
-		if _, err := e.ReplayAll(n.key, n.capture, sinks); err != nil {
-			return err
+		if err := ctx.Err(); err != nil {
+			rep.add(&CellError{Key: n.key, Stage: "schedule", Err: ctxErr(ctx)})
+		} else if err := e.replayGuarded(ctx, n.key, n.capture, trace.Flatten(n.groups...)); err != nil {
+			rep.add(&CellError{Key: n.key, Stage: stageOf(err), Err: err})
 		}
 		n.done = true
 		remaining--
@@ -205,4 +248,33 @@ func (e *Engine) runComponent(nodes []*passNode, comp []int) error {
 		}
 	}
 	return nil
+}
+
+// replayGuarded is ReplayAllContext with panic isolation: a sink (or
+// decoder) panicking mid-replay unwinds only this workload's cell,
+// converted to an ErrSinkPanic the report can carry, instead of killing
+// the worker pool.
+func (e *Engine) replayGuarded(ctx context.Context, key string, capture CaptureFunc, sinks []trace.Sink) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %w", ErrSinkPanic, panicError(r))
+		}
+	}()
+	_, err = e.ReplayAllContext(ctx, key, capture, sinks)
+	return err
+}
+
+// stageOf names the execution edge a replay error belongs to, for
+// CellError attribution.
+func stageOf(err error) string {
+	switch {
+	case errors.Is(err, ErrCaptureFailed):
+		return "capture"
+	case errors.Is(err, ErrSinkPanic):
+		return "sink"
+	case errors.Is(err, ErrCanceled):
+		return "schedule"
+	default:
+		return "replay"
+	}
 }

@@ -3,7 +3,34 @@ package engine
 import (
 	"bytes"
 	"os"
+	"path/filepath"
+	"strings"
+
+	"memotable/internal/faults"
 )
+
+// spillTempSuffix marks a spill file that has not been sealed yet. A
+// capture streams into "trace-*.mtrc.tmp" and the file is renamed to
+// "trace-*.mtrc" only after a successful sync-and-close, so a reader can
+// never observe a torn file under the durable name and a process death
+// mid-capture leaves only suffixed garbage for sweepSpillOrphans.
+const spillTempSuffix = ".tmp"
+
+// sweepSpillOrphans removes spill temp files a dead process left behind.
+// Sealed spill files (no temp suffix) are never touched. The dir must
+// not be shared with a concurrently spilling process.
+func sweepSpillOrphans(dir string) {
+	if dir == "" {
+		return
+	}
+	orphans, err := filepath.Glob(filepath.Join(dir, "trace-*.mtrc"+spillTempSuffix))
+	if err != nil {
+		return
+	}
+	for _, p := range orphans {
+		_ = os.Remove(p)
+	}
+}
 
 // captureArm is the io.Writer a capture encodes into. It lands the v2
 // byte stream in whichever tier has room, deciding mid-stream:
@@ -16,12 +43,17 @@ import (
 //     is the reservation granularity: at most one ~64 KiB frame per
 //     in-flight capture sits outside the accounting.)
 //   - The first chunk that cannot be reserved fails the capture over to
-//     a spill file: the buffered prefix — header plus whole frames,
+//     a spill temp file: the buffered prefix — header plus whole frames,
 //     because WriterV2 writes frame-atomically — is flushed to the
 //     file, the reservation is released, and the rest of the stream
-//     goes straight to disk.
+//     goes straight to disk. seal later renames the completed file to
+//     its durable name.
 //   - With no spill directory set, the fail-over write fails instead,
 //     which WriterV2 surfaces at Flush and store records as a decline.
+//
+// The spill.create, spill.write and spill.rename fault-injection points
+// fire on this path; store treats their errors as transient spill I/O
+// and retries the capture under the engine's retry policy.
 type captureArm struct {
 	e        *Engine
 	mem      bool // memory tier still viable
@@ -44,6 +76,9 @@ func (a *captureArm) Write(p []byte) (int, error) {
 			return 0, err
 		}
 		a.buf = bytes.Buffer{} // prefix is on disk now; free it
+	}
+	if err := faults.Inject(faults.SpillWrite); err != nil {
+		return 0, err
 	}
 	return a.f.Write(p)
 }
@@ -74,8 +109,8 @@ func (a *captureArm) release() {
 	a.reserved = 0
 }
 
-// openSpill creates the spill file and seeds it with the buffered stream
-// prefix. It fails with errCacheFull when the tier is disabled.
+// openSpill creates the spill temp file and seeds it with the buffered
+// stream prefix. It fails with errCacheFull when the tier is disabled.
 func (a *captureArm) openSpill() error {
 	e := a.e
 	e.mu.Lock()
@@ -84,16 +119,19 @@ func (a *captureArm) openSpill() error {
 	if dir == "" {
 		return errCacheFull
 	}
+	if err := faults.Inject(faults.SpillCreate); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(dir, "trace-*.mtrc")
+	f, err := os.CreateTemp(dir, "trace-*.mtrc"+spillTempSuffix)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(a.buf.Bytes()); err != nil {
-		f.Close()
-		os.Remove(f.Name())
+		_ = f.Close()
+		_ = os.Remove(f.Name())
 		return err
 	}
 	a.f, a.path = f, f.Name()
@@ -101,14 +139,24 @@ func (a *captureArm) openSpill() error {
 }
 
 // seal makes a completed spill file durable and readable: contents
-// synced, handle closed. On failure the file is removed.
+// synced, handle closed, and the temp name atomically renamed to the
+// durable one. On failure the temp file is removed.
 func (a *captureArm) seal() error {
 	err := a.f.Sync()
 	if cerr := a.f.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil {
+		err = faults.Inject(faults.SpillRename)
+	}
+	if err == nil {
+		final := strings.TrimSuffix(a.path, spillTempSuffix)
+		if err = os.Rename(a.path, final); err == nil {
+			a.path = final
+		}
+	}
 	if err != nil {
-		os.Remove(a.path)
+		_ = os.Remove(a.path)
 	}
 	a.f = nil
 	return err
@@ -119,8 +167,8 @@ func (a *captureArm) seal() error {
 func (a *captureArm) discard() {
 	a.release()
 	if a.f != nil {
-		a.f.Close()
-		os.Remove(a.path)
+		_ = a.f.Close()
+		_ = os.Remove(a.path)
 		a.f = nil
 		a.path = ""
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -209,31 +210,102 @@ func Lookup(names ...string) ([]Experiment, error) {
 // empty) as one planned pass: plan serially, capture and replay every
 // demanded workload exactly once across the whole selection, then
 // finish in parallel. Results are returned in selection order with
-// their Name set from the registry.
+// their Name set from the registry. Run is the fail-fast entry point:
+// any workload failure aborts the whole selection with that error —
+// callers that want partial results use RunContext.
 func Run(eng *engine.Engine, scale Scale, names ...string) ([]*report.Result, error) {
-	exps, err := Lookup(names...)
+	results, rep, err := RunContext(context.Background(), eng, scale, names...)
 	if err != nil {
 		return nil, err
 	}
-	ctx := &Context{Eng: eng, Scale: scale}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunContext is Run with cooperative cancellation and degraded-mode
+// results. The replay pass runs under ctx; workload failures (injected
+// faults, panicking sinks, unreadable spill files, cancellation) do not
+// abort the selection. Instead:
+//
+//   - an experiment none of whose demanded workloads failed finishes
+//     normally and its Result is exact;
+//   - an experiment that demanded a failed workload skips its finish —
+//     its sinks saw a torn or missing stream — and yields a degraded
+//     Result (an empty group carrying the RunErrors that poisoned it);
+//   - a finish that panics yields a degraded Result too, instead of
+//     killing the pool.
+//
+// The returned PassReport is the engine's cell-level account of the
+// pass (nil only alongside a non-nil error); the error return is
+// reserved for selection defects — unknown names, inconsistent demand
+// orders — that prevent the pass from being planned at all.
+func RunContext(ctx context.Context, eng *engine.Engine, scale Scale, names ...string) ([]*report.Result, *engine.PassReport, error) {
+	exps, err := Lookup(names...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ectx := &Context{Eng: eng, Scale: scale}
 	plans := make([]Plan, len(exps))
 	var subs []engine.Subscription
 	for i, ex := range exps {
-		plans[i] = ex.Plan(ctx)
+		plans[i] = ex.Plan(ectx)
 		subs = append(subs, plans[i].Demands...)
 	}
-	if err := eng.RunPass(subs); err != nil {
-		return nil, err
+	rep, err := eng.RunPassContext(ctx, subs)
+	if err != nil {
+		return nil, nil, err
 	}
 	results := make([]*report.Result, len(exps))
 	eng.Map(len(exps), func(i int) {
-		r := plans[i].Finish()
+		if errs := planErrors(plans[i], rep); len(errs) > 0 {
+			results[i] = report.NewDegradedResult(exps[i].Name, errs)
+			return
+		}
+		r, ferr := finishGuarded(plans[i].Finish)
+		if ferr != nil {
+			results[i] = report.NewDegradedResult(exps[i].Name,
+				[]report.RunError{{Stage: "finish", Message: ferr.Error()}})
+			return
+		}
 		if r != nil {
 			r.Name = exps[i].Name
 		}
 		results[i] = r
 	})
-	return results, nil
+	return results, rep, nil
+}
+
+// planErrors maps a pass's cell failures onto one plan: the RunErrors
+// for exactly the workload keys this plan demanded, in the report's
+// (sorted, deterministic) order.
+func planErrors(p Plan, rep *engine.PassReport) []report.RunError {
+	keys := make(map[string]bool)
+	for _, d := range p.Demands {
+		for _, w := range d.Workloads {
+			keys[w.Key] = true
+		}
+	}
+	var errs []report.RunError
+	for _, ce := range rep.Errors {
+		if keys[ce.Key] {
+			errs = append(errs, report.RunError{Workload: ce.Key, Stage: ce.Stage, Message: ce.Err.Error()})
+		}
+	}
+	return errs
+}
+
+// finishGuarded runs a plan's finish with panic isolation: a finish
+// reading sinks in an unexpected state degrades its own experiment
+// instead of crashing the run.
+func finishGuarded(finish func() *report.Result) (r *report.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("finish panicked: %v", rec)
+		}
+	}()
+	return finish(), nil
 }
 
 // runPlan drives one driver's plan standalone: the legacy typed entry

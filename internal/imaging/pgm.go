@@ -16,10 +16,10 @@ func EncodePGM(w io.Writer, im *Image, b int) error {
 		return fmt.Errorf("imaging: band %d out of range", b)
 	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H)
+	_, _ = fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H) // errors deferred to Flush
 	for y := 0; y < im.H; y++ {
 		for x := 0; x < im.W; x++ {
-			bw.WriteByte(byte(Clamp(im.At(x, y, b), 0, 255))) //nolint:errcheck
+			_ = bw.WriteByte(byte(Clamp(im.At(x, y, b), 0, 255)))
 		}
 	}
 	return bw.Flush()

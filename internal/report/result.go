@@ -135,6 +135,28 @@ type Result struct {
 
 	// KindGroup.
 	Children []*Result
+
+	// Errs carries the run failures attributed to this result's
+	// experiment: workloads whose capture, replay or sinks faulted, so
+	// the numbers above (if any) are partial. Both renderers surface the
+	// list; a nil/empty Errs changes neither output by a byte.
+	Errs []RunError
+}
+
+// RunError is one workload failure in renderer-ready form: which
+// workload cell failed, on which execution edge, and the flattened
+// cause. It mirrors engine.CellError without importing the engine, so
+// report stays a leaf package.
+type RunError struct {
+	Workload string `json:"workload"`
+	Stage    string `json:"stage"`
+	Message  string `json:"message"`
+}
+
+// NewDegradedResult builds the result of an experiment that could not
+// finish: an empty group carrying only the failures that stopped it.
+func NewDegradedResult(name string, errs []RunError) *Result {
+	return &Result{Kind: KindGroup, Name: name, Errs: errs}
 }
 
 // NewTableResult starts a table node.
@@ -183,6 +205,25 @@ func Text(r *Result) string {
 	if r == nil {
 		return ""
 	}
+	body := textBody(r)
+	if len(r.Errs) == 0 {
+		return body
+	}
+	var b strings.Builder
+	b.WriteString(body)
+	if body != "" && !strings.HasSuffix(body, "\n") {
+		b.WriteByte('\n')
+	}
+	b.WriteString("errors:\n")
+	for _, e := range r.Errs {
+		fmt.Fprintf(&b, "  %s [%s]: %s\n", e.Workload, e.Stage, e.Message)
+	}
+	return b.String()
+}
+
+// textBody renders the node's regular content, without any error
+// section.
+func textBody(r *Result) string {
 	switch r.Kind {
 	case KindTable:
 		tab := NewTable(r.Title, r.Header...)
@@ -244,6 +285,7 @@ type jsonResult struct {
 	Value    *Cell       `json:"value,omitempty"`
 	Unit     string      `json:"unit,omitempty"`
 	Children []*Result   `json:"children,omitempty"`
+	Errors   []RunError  `json:"errors,omitempty"`
 }
 
 // MarshalJSON encodes the node with its kind spelled out and NaN values
@@ -259,6 +301,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Lines:    r.Lines,
 		Unit:     r.Unit,
 		Children: r.Children,
+		Errors:   r.Errs,
 	}
 	if r.Kind == KindSeries {
 		j.Points = make([]jsonPoint, len(r.X))

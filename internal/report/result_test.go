@@ -134,3 +134,60 @@ func TestGroupAndScalarText(t *testing.T) {
 		t.Fatal("nil result must render empty")
 	}
 }
+
+func TestErrorsSectionInTextAndJSON(t *testing.T) {
+	r := NewTableResult("T", "k", "v")
+	r.AddRow(Str("a"), Int(1))
+	clean := Text(r)
+	if strings.Contains(clean, "errors:") {
+		t.Fatalf("clean result rendered an errors section:\n%s", clean)
+	}
+
+	r.Errs = []RunError{
+		{Workload: "mm|vspatial|lenna@0", Stage: "sink", Message: "sink panicked"},
+		{Workload: "sci|TRFD", Stage: "capture", Message: "injected fault"},
+	}
+	got := Text(r)
+	if !strings.HasPrefix(got, clean) {
+		t.Fatalf("errors section altered the regular rendering:\n%s", got)
+	}
+	for _, want := range []string{
+		"errors:",
+		"  mm|vspatial|lenna@0 [sink]: sink panicked\n",
+		"  sci|TRFD [capture]: injected fault\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("text rendering %q missing %q", got, want)
+		}
+	}
+
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Errors []RunError `json:"errors"`
+	}
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Errors) != 2 || decoded.Errors[0].Stage != "sink" {
+		t.Fatalf("JSON errors round-trip = %+v", decoded.Errors)
+	}
+}
+
+func TestDegradedResultRendering(t *testing.T) {
+	r := NewDegradedResult("table7", []RunError{{Workload: "w", Stage: "replay", Message: "boom"}})
+	got := Text(r)
+	if !strings.HasPrefix(got, "errors:\n") || !strings.Contains(got, "w [replay]: boom") {
+		t.Fatalf("degraded result text %q", got)
+	}
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(buf)
+	if !strings.Contains(s, `"errors"`) || !strings.Contains(s, `"name":"table7"`) {
+		t.Fatalf("degraded result JSON %s", s)
+	}
+}

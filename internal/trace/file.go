@@ -59,7 +59,7 @@ func (w *Writer) Emit(ev Event) {
 	n := 1
 	n += binary.PutUvarint(w.buf[n:], ev.A)
 	n += binary.PutUvarint(w.buf[n:], ev.B)
-	w.w.Write(w.buf[:n]) //nolint:errcheck // surfaced by Flush
+	_, _ = w.w.Write(w.buf[:n]) // error deferred to Flush, bufio-style
 }
 
 // Count returns the number of events emitted.

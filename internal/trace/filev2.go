@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"memotable/internal/faults"
 	"memotable/internal/isa"
 )
 
@@ -110,7 +111,7 @@ func (w *WriterV2) Emit(ev Event) {
 	n := 1
 	n += binary.PutUvarint(w.buf[n:], ev.A)
 	n += binary.PutUvarint(w.buf[n:], ev.B)
-	w.frame.Write(w.buf[:n])
+	_, _ = w.frame.Write(w.buf[:n]) // bytes.Buffer writes cannot fail
 	w.frameEvents++
 	if w.frame.Len() >= frameTarget {
 		w.err = w.flushFrame()
@@ -157,8 +158,8 @@ func (w *WriterV2) flushFrame() error {
 	crc := crc32.Update(0, castagnoli, hdr[:12])
 	crc = crc32.Update(crc, castagnoli, stored)
 	binary.LittleEndian.PutUint32(hdr[12:], crc)
-	w.wire.Write(hdr[:])
-	w.wire.Write(stored)
+	_, _ = w.wire.Write(hdr[:]) // bytes.Buffer writes cannot fail
+	_, _ = w.wire.Write(stored)
 	if _, err := w.w.Write(w.wire.Bytes()); err != nil {
 		return err
 	}
@@ -196,6 +197,9 @@ func (r *Reader) readFrame() error {
 	got = crc32.Update(got, castagnoli, stored)
 	if got != crc {
 		return fmt.Errorf("%w: frame CRC %08x, computed %08x", ErrBadTrace, crc, got)
+	}
+	if ferr := faults.Inject(faults.FrameCRC); ferr != nil {
+		return fmt.Errorf("%w: frame CRC rejected: %v", ErrBadTrace, ferr)
 	}
 	if r.compressed {
 		raw := make([]byte, rawLen)
@@ -367,6 +371,9 @@ func Verify(rd io.Reader) (uint64, error) {
 			got = crc32.Update(got, castagnoli, stored)
 			if got != crc {
 				return events, fmt.Errorf("%w: frame CRC %08x, computed %08x", ErrBadTrace, crc, got)
+			}
+			if ferr := faults.Inject(faults.FrameCRC); ferr != nil {
+				return events, fmt.Errorf("%w: frame CRC rejected: %v", ErrBadTrace, ferr)
 			}
 			events += uint64(n)
 		}

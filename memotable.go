@@ -25,6 +25,7 @@
 package memotable
 
 import (
+	"context"
 	"io"
 
 	"memotable/internal/engine"
@@ -222,6 +223,52 @@ func AllExperiments() []Experiment { return experiments.All() }
 // error.
 func Run(eng *Engine, scale Scale, names ...string) ([]*Result, error) {
 	return experiments.Run(eng, scale, names...)
+}
+
+// PassReport is the cell-level account of one replay pass: which
+// workload cells failed, on which execution edge, and whether the pass
+// was cut short by cancellation. RunContext returns one per invocation.
+type PassReport = engine.PassReport
+
+// CellError attributes one pass failure to the workload cell that
+// observed it; its cause always wraps one of the sentinel errors below.
+type CellError = engine.CellError
+
+// RunError is one workload failure in renderer-ready form, carried by a
+// degraded Result's Errs list and surfaced by both renderers.
+type RunError = report.RunError
+
+// ErrBadTrace reports a corrupt or truncated trace stream: bad magic,
+// torn frame, CRC mismatch. Replay errors wrap it, so callers can
+// distinguish corruption from plain I/O failure with errors.Is.
+var ErrBadTrace = trace.ErrBadTrace
+
+// The failure taxonomy: every error a degraded run reports wraps one of
+// these sentinels, so callers classify with errors.Is.
+var (
+	// ErrCanceled marks work abandoned to context cancellation.
+	ErrCanceled = engine.ErrCanceled
+	// ErrCaptureFailed marks a workload whose capture errored or panicked.
+	ErrCaptureFailed = engine.ErrCaptureFailed
+	// ErrSpillIO marks spill-tier I/O that kept failing after retries.
+	ErrSpillIO = engine.ErrSpillIO
+	// ErrCorruptTrace marks a trace that failed verification even after
+	// transparent re-capture.
+	ErrCorruptTrace = engine.ErrCorruptTrace
+	// ErrSinkPanic marks a measurement sink that panicked mid-replay.
+	ErrSinkPanic = engine.ErrSinkPanic
+)
+
+// RunContext is Run with cooperative cancellation and degraded-mode
+// results: workload failures do not abort the selection. Experiments
+// untouched by any failure return exact Results; an experiment that
+// demanded a failed workload returns a degraded Result carrying the
+// RunErrors that poisoned it (rendered by RenderText and RenderJSON as
+// an errors section). The PassReport is the engine's cell-level account
+// of the pass; the error return is reserved for selection defects that
+// prevent planning entirely.
+func RunContext(ctx context.Context, eng *Engine, scale Scale, names ...string) ([]*Result, *PassReport, error) {
+	return experiments.RunContext(ctx, eng, scale, names...)
 }
 
 // RenderText renders a result as the paper-style text table.
