@@ -569,7 +569,10 @@ func spillBenchCapture(b *testing.B) (memotable.CaptureFunc, uint64) {
 	}
 	img := ablationInput()
 	var c trace.Counter
-	capture := func(s trace.Sink) { app.Run(probe.New(s), img) }
+	capture := func(s trace.Sink) {
+		as := imaging.NewAddressSpace()
+		app.Run(probe.New(s), as, as.Clone(img))
+	}
 	capture(&c)
 	return capture, c.Total()
 }

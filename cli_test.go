@@ -254,6 +254,36 @@ func TestMemosimCLI(t *testing.T) {
 		}
 	})
 
+	// A persistent store across two invocations: the cold run captures
+	// and publishes everything; the warm run executes no workload at all
+	// and its tables are byte-identical to the cold run's.
+	t.Run("warm store", func(t *testing.T) {
+		storeArgs := append(base, "-store", t.TempDir())
+
+		cold, stderr, code := runCLI(t, nil, bin, storeArgs...)
+		if code != 0 {
+			t.Fatalf("cold run exit code = %d, want 0 (stderr: %s)", code, stderr)
+		}
+		if !strings.Contains(cold, "trace store:") || strings.Contains(cold, "engine: 0 captures") {
+			t.Fatalf("cold stdout = %q, want store summary and nonzero captures", cold)
+		}
+
+		warm, stderr, code := runCLI(t, nil, bin, storeArgs...)
+		if code != 0 {
+			t.Fatalf("warm run exit code = %d, want 0 (stderr: %s)", code, stderr)
+		}
+		if !strings.Contains(warm, "engine: 0 captures") {
+			t.Fatalf("warm stdout = %q, want zero captures", warm)
+		}
+		// Everything above the suite summary — the rendered tables — must
+		// not move by a byte between cold and warm.
+		tables := func(out string) string { return strings.SplitN(out, "suite:", 2)[0] }
+		if tables(cold) != tables(warm) {
+			t.Fatalf("warm tables differ from cold\n--- cold ---\n%s\n--- warm ---\n%s",
+				tables(cold), tables(warm))
+		}
+	})
+
 	// The FAULTS environment variable arms injection too (the flag
 	// overrides it); an empty -faults flag leaves the env spec active.
 	t.Run("faults via env", func(t *testing.T) {

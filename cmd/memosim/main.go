@@ -6,7 +6,7 @@
 //
 //	memosim -list
 //	memosim [-scale tiny|quick|full] [-run all|table5,table6,...|figure4]
-//	        [-json] [-parallel N] [-tracedir DIR]
+//	        [-json] [-parallel N] [-tracedir DIR] [-store DIR]
 //	        [-timeout D] [-keep-going] [-faults SPEC]
 //
 // A -run selection is executed as one planned pass: every workload the
@@ -44,6 +44,8 @@ func run() int {
 		"experiment engine workers: 1 is serial, 0 selects GOMAXPROCS")
 	traceDirFlag := flag.String("tracedir", filepath.Join(os.TempDir(), "memosim-traces"),
 		"spill directory for operand traces that exceed the in-memory cache budget; empty disables the disk tier")
+	storeFlag := flag.String("store", "",
+		"persistent trace-store directory shared across runs and processes: workloads already stored there replay without executing, fresh captures are published back (empty disables)")
 	timeoutFlag := flag.Duration("timeout", 0,
 		"wall-clock budget for the whole run; on expiry the pass cancels cooperatively and remaining cells report as canceled (0 = no limit)")
 	keepGoingFlag := flag.Bool("keep-going", false,
@@ -103,6 +105,14 @@ func run() int {
 	eng := memotable.NewEngine(*parallelFlag)
 	if *traceDirFlag != "" {
 		eng.SetTraceDir(*traceDirFlag)
+	}
+	if *storeFlag != "" {
+		st, err := memotable.OpenTraceStore(*storeFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memosim:", err)
+			return 2
+		}
+		eng.SetStore(st)
 	}
 	defer func() { _ = eng.Close() }()
 
@@ -169,6 +179,11 @@ func run() int {
 		len(results), elapsed.Round(time.Millisecond), eng.Workers())
 	fmt.Printf("engine: %d captures, %d replays (%d recaptures, %d traces spilled to disk)\n",
 		eng.Captures(), eng.Replays(), eng.Recaptures(), eng.SpilledTraces())
+	if st := eng.Store(); st != nil {
+		n, _ := st.Len()
+		fmt.Printf("engine: trace store: %d hits, %d puts (%d entries in %s)\n",
+			eng.StoreHits(), eng.StorePuts(), n, st.Dir())
+	}
 	fmt.Printf("engine: replayed %d events in %v (%.1fM events/sec)\n",
 		evs, elapsed.Round(time.Millisecond),
 		float64(evs)/elapsed.Seconds()/1e6)

@@ -62,8 +62,14 @@ func main() {
 		if in == nil {
 			usage(fmt.Errorf("unknown input %q", *input))
 		}
-		img := in.Image.Decimate(*maxDim)
-		run = func(p *memotable.Probe) { a.Run(p, img) }
+		src := in.Image
+		run = func(p *memotable.Probe) {
+			// Mirror the engine's capture path: decimate the input into a
+			// private address space as the run's first allocation, so the
+			// trace captured here is byte-identical to the engine's.
+			as := imaging.NewAddressSpace()
+			a.Run(p, as, as.Decimate(src, *maxDim))
+		}
 	default:
 		k, err := scientific.Lookup(*kernel)
 		if err != nil {

@@ -41,7 +41,8 @@ func main() {
 				unit.Apply(ev.A, ev.B)
 			}
 		})
-		app.Run(probe.New(sink), img)
+		as := imaging.NewAddressSpace()
+		app.Run(probe.New(sink), as, as.Clone(img))
 
 		e := img.Entropy()
 		hr := table.Stats().HitRatio()

@@ -38,7 +38,8 @@ func main() {
 		memo.NewUnit(memo.New(isa.OpFDiv, memo.Paper32x4()), memo.NonTrivialOnly, nil),
 	)
 	probe := memotable.NewProbe(baseline, enhanced)
-	out := app.Run(probe, input)
+	as := imaging.NewAddressSpace()
+	out := app.Run(probe, as, as.Clone(input))
 	fmt.Printf("output: %dx%dx%d feature planes\n\n", out.W, out.H, out.Bands)
 
 	fmt.Printf("%-22s %14s %14s\n", "", "baseline", "memo-enhanced")

@@ -1,8 +1,9 @@
 package memotable_test
 
 // The fault soak: the full experiment registry at 8 workers with a
-// spill tier squeezed by a tiny memory budget, under an injected ~1%
-// spill-write fault rate plus exactly one panicking sink, swept over
+// spill tier squeezed by a tiny memory budget and a shared persistent
+// trace store, under an injected ~1% fault rate on spill writes and on
+// every store I/O edge plus exactly one panicking sink, swept over
 // deterministic seeds. The pass must complete (no planning error),
 // every faulted cell must appear exactly once in the PassReport, every
 // experiment untouched by a fault must render byte-identically to the
@@ -39,10 +40,16 @@ func TestFaultSoak(t *testing.T) {
 		seeds = n
 	}
 
+	// One store directory across every seed: later seeds run against the
+	// entries earlier seeds published, so warm hits, faulty reads of good
+	// entries, and faulty publishes all occur in the same sweep.
+	storeDir := t.TempDir()
+
 	for seed := 1; seed <= seeds; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			plan, err := faults.Parse(fmt.Sprintf(
-				"seed=%d;engine.spill.write:p=0.01;engine.sink.emit:count=1:panic", seed))
+				"seed=%d;engine.spill.write:p=0.01;engine.sink.emit:count=1:panic;"+
+					"store.read:p=0.01;store.write:p=0.01;store.rename:p=0.01", seed))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -54,6 +61,11 @@ func TestFaultSoak(t *testing.T) {
 			eng.SetCacheLimit(64 << 10) // push most captures through the faulty spill path
 			eng.SetTraceDir(t.TempDir())
 			eng.SetRetryPolicy(2, 0) // bounded retries, no backoff sleep
+			st, err := memotable.OpenTraceStore(storeDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.SetStore(st)
 
 			results, rep, err := memotable.RunContext(context.Background(), eng, memotable.Tiny)
 			if err != nil {
@@ -104,8 +116,8 @@ func TestFaultSoak(t *testing.T) {
 			if clean == 0 {
 				t.Error("every experiment degraded; the soak should leave survivors to compare")
 			}
-			t.Logf("seed %d: %d faulted cells, %d/%d experiments clean, %d spill retries, %d degraded captures, %d faults fired",
-				seed, len(rep.Errors), clean, len(results), eng.SpillRetries(), eng.DegradedCaptures(), plan.Fired())
+			t.Logf("seed %d: %d faulted cells, %d/%d experiments clean, %d spill retries, %d degraded captures, %d store hits, %d store puts, %d faults fired",
+				seed, len(rep.Errors), clean, len(results), eng.SpillRetries(), eng.DegradedCaptures(), eng.StoreHits(), eng.StorePuts(), plan.Fired())
 		})
 	}
 }

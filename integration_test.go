@@ -30,7 +30,8 @@ func TestEndToEndCaptureSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	n, err := memotable.Capture(f, func(p *memotable.Probe) {
-		app.Run(p, input)
+		as := imaging.NewAddressSpace()
+		app.Run(p, as, as.Clone(input))
 	})
 	if err != nil {
 		t.Fatal(err)

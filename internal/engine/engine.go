@@ -49,6 +49,7 @@ import (
 
 	"memotable/internal/faults"
 	"memotable/internal/trace"
+	"memotable/internal/tracestore"
 )
 
 // DefaultCacheBytes bounds the in-memory trace cache of engines built by
@@ -57,19 +58,15 @@ import (
 const DefaultCacheBytes = 256 << 20
 
 // CaptureFunc runs a workload, emitting its operand trace into the sink.
-// It must be deterministic: the engine assumes replaying a stored capture
-// is indistinguishable from running the workload again.
-//
-// Captures are mutually exclusive process-wide: the engine runs every
-// CaptureFunc under one global lock, so a capture may reset and consume
-// process-global simulation state (the synthetic image address space,
-// for instance) and still produce a trace that is a pure function of the
-// workload, independent of which other captures run concurrently.
+// It must be deterministic and self-contained: the trace it emits is a
+// pure function of the workload (per-run state such as the synthetic
+// image address space belongs to the capture, not the process — see
+// imaging.AddressSpace), so the engine runs captures concurrently on its
+// worker pool and assumes replaying a stored capture is
+// indistinguishable from running the workload again — in this process or
+// any other, which is what lets settled traces persist in a cross-process
+// store.
 type CaptureFunc func(trace.Sink)
-
-// captureMu serializes workload executions across all engines. Replays —
-// the bulk of the evaluation's cells — never take it.
-var captureMu sync.Mutex
 
 // entryState is the lifecycle of one cache slot. Unlike a sync.Once, the
 // state machine can travel backwards: a declined or corrupted entry
@@ -89,6 +86,7 @@ const (
 // blocks slice (the decoded-block tier, blocks.go) is immutable once
 // published — concurrent replays share it read-only.
 type traceEntry struct {
+	key    string // the workload fingerprint this slot caches
 	state  entryState
 	data   []byte // stateMemory: encoded v2 trace
 	events uint64
@@ -129,6 +127,7 @@ type Engine struct {
 	blockCache bool // decoded-block tier enabled (default true)
 	spillDir   string
 	traces     map[string]*traceEntry
+	tstore     *tracestore.Store // persistent cross-process store (nil: disabled)
 
 	// Failure-model knobs (errors.go): transient spill I/O retries.
 	retryAttempts int
@@ -142,6 +141,8 @@ type Engine struct {
 	replayedEv  atomic.Uint64 // events delivered by cache replays
 	spillRetry  atomic.Uint64 // spill I/O operations retried after a transient failure
 	degradedCap atomic.Uint64 // captures degraded to direct re-execution by persistent spill failure
+	storeHits   atomic.Uint64 // entries settled from the persistent store instead of capturing
+	storePuts   atomic.Uint64 // fresh captures published to the persistent store
 }
 
 // New builds an engine with the given worker count (<= 0 selects
@@ -201,6 +202,26 @@ func (e *Engine) TraceDir() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.spillDir
+}
+
+// SetStore attaches a persistent trace store: before executing any
+// workload the engine asks the store for its settled trace, and every
+// fresh capture is published back, so a store shared across processes
+// (or across runs of the same binary) makes all but the first run
+// replay-only. A nil store detaches. Store I/O is strictly an
+// accelerator: a failed read is a miss and a failed publish is dropped —
+// neither can fail a cell.
+func (e *Engine) SetStore(st *tracestore.Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tstore = st
+}
+
+// Store returns the attached persistent trace store (nil when detached).
+func (e *Engine) Store() *tracestore.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tstore
 }
 
 // SetBlockCache enables or disables the decoded-block tier (on by
@@ -338,6 +359,14 @@ func (e *Engine) SpillRetries() uint64 { return e.spillRetry.Load() }
 // it just re-executes on every replay instead of being cached.
 func (e *Engine) DegradedCaptures() uint64 { return e.degradedCap.Load() }
 
+// StoreHits returns how many cache entries were settled from the
+// persistent trace store instead of executing their workload.
+func (e *Engine) StoreHits() uint64 { return e.storeHits.Load() }
+
+// StorePuts returns how many fresh captures were published to the
+// persistent trace store.
+func (e *Engine) StorePuts() uint64 { return e.storePuts.Load() }
+
 // Map runs cell(0..n-1) across the worker pool and returns when all
 // cells have finished. Cells must be independent: each writes only its
 // own result slot, which is what keeps aggregation order-independent. A
@@ -398,7 +427,7 @@ func (e *Engine) ensure(key string, capture CaptureFunc) (entrySnapshot, error) 
 	e.mu.Lock()
 	ent, ok := e.traces[key]
 	if !ok {
-		ent = &traceEntry{}
+		ent = &traceEntry{key: key}
 		e.traces[key] = ent
 	}
 	for {
@@ -429,10 +458,10 @@ func (e *Engine) ensure(key string, capture CaptureFunc) (entrySnapshot, error) 
 
 // Warm ensures key's trace is captured and stored (tier permitting)
 // without replaying it anywhere. Drivers call it over their workload
-// list up front so the replay fan-out never stalls a cell on a capture
-// (captures themselves serialize on the global capture lock). A failing
-// workload surfaces here wrapping ErrCaptureFailed; the entry stays
-// re-armed, so a later Replay retries rather than inheriting the fault.
+// list up front so the replay fan-out never stalls a cell on a capture.
+// A failing workload surfaces here wrapping ErrCaptureFailed; the entry
+// stays re-armed, so a later Replay retries rather than inheriting the
+// fault.
 func (e *Engine) Warm(key string, capture CaptureFunc) error {
 	_, err := e.ensure(key, capture)
 	return err
@@ -690,19 +719,17 @@ func (e *Engine) invalidateSpill(key, path string) {
 	_ = os.Remove(path)
 }
 
-// runCapture executes a workload capture under the process-wide capture
-// lock, converting a panicking workload into an error instead of letting
-// it unwind with the lock held. The capture.run injection point fires
-// here, so captures and declined direct re-executions share one fault
-// edge.
+// runCapture executes a workload capture, converting a panicking
+// workload into an error. Captures run concurrently on the worker pool —
+// each owns its address space, so no cross-capture exclusion is needed.
+// The capture.run injection point fires here, so captures and declined
+// direct re-executions share one fault edge.
 func runCapture(capture CaptureFunc, sink trace.Sink) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = panicError(r)
 		}
 	}()
-	captureMu.Lock()
-	defer captureMu.Unlock()
 	if ferr := faults.Inject(faults.CaptureRun); ferr != nil {
 		return ferr
 	}
@@ -720,22 +747,28 @@ const (
 	captureNoRoom                         // no tier has room; decline
 )
 
-// store performs the capture for an in-flight entry and settles it into
-// a terminal state: memory when the encoding fits the reserved budget,
-// disk when it overflows and a spill directory is set, declined
-// otherwise. Transient spill I/O failures re-run the capture (captures
-// are deterministic by contract) with jittered backoff; a spill tier
-// that keeps failing degrades the workload to a decline, so replays
+// store settles an in-flight entry into a terminal state: from the
+// persistent trace store when one is attached and holds the workload,
+// else by capturing — into memory when the encoding fits the reserved
+// budget, disk when it overflows and a spill directory is set, declined
+// otherwise. Fresh captures are published back to the persistent store.
+// Transient spill I/O failures re-run the capture (captures are
+// deterministic by contract) with jittered backoff; a spill tier that
+// keeps failing degrades the workload to a decline, so replays
 // direct-run it rather than losing the cell. A failing workload settles
 // the entry back to empty — later callers retry — and the failure is
 // returned wrapping ErrCaptureFailed. The caller has already moved the
 // entry to stateInflight.
 func (e *Engine) store(ent *traceEntry, capture CaptureFunc) error {
+	if e.loadFromStore(ent) {
+		return nil
+	}
 	attempts, base := e.retryPolicy()
 	for try := 0; ; try++ {
 		outcome, err := e.captureOnce(ent, capture)
 		switch outcome {
 		case captureStored:
+			e.putToStore(ent)
 			return nil
 		case captureFailed:
 			e.settle(ent, stateEmpty)
@@ -774,6 +807,66 @@ func (e *Engine) settleDeclined(ent *traceEntry) {
 	ent.declinedSpill = e.spillDir != ""
 	e.cond.Broadcast()
 	e.mu.Unlock()
+}
+
+// loadFromStore tries to settle an in-flight entry from the persistent
+// trace store. The store verifies every frame CRC before handing bytes
+// over, and the bytes are adopted into the memory tier only when the
+// byte budget covers them — an engine run with a tiny budget falls
+// through to its own capture path, whose tiers know how to stream. Any
+// store failure (absent, torn, corrupt, injected fault) is a miss: the
+// caller captures, and the put that follows heals the entry.
+func (e *Engine) loadFromStore(ent *traceEntry) bool {
+	e.mu.Lock()
+	st := e.tstore
+	e.mu.Unlock()
+	if st == nil {
+		return false
+	}
+	data, events, err := st.Get(ent.key)
+	if err != nil {
+		return false
+	}
+	e.mu.Lock()
+	if e.used+e.blockBytes+e.reserved+int64(len(data)) > e.cacheLimit {
+		e.mu.Unlock()
+		return false
+	}
+	e.used += int64(len(data))
+	ent.data = data
+	ent.events = events
+	ent.state = stateMemory
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.storeHits.Add(1)
+	return true
+}
+
+// putToStore publishes a freshly settled capture to the persistent
+// trace store. Failures are deliberately dropped: the store is an
+// accelerator, and a faulted publish must not cost the cell — the entry
+// is simply captured again by the next cold process, whose own publish
+// heals the store.
+func (e *Engine) putToStore(ent *traceEntry) {
+	e.mu.Lock()
+	st := e.tstore
+	state, data, path := ent.state, ent.data, ent.path
+	e.mu.Unlock()
+	if st == nil {
+		return
+	}
+	var err error
+	switch state {
+	case stateMemory:
+		err = st.Put(ent.key, data)
+	case stateDisk:
+		err = st.PutFile(ent.key, path)
+	default:
+		return
+	}
+	if err == nil {
+		e.storePuts.Add(1)
+	}
 }
 
 // captureOnce runs one capture attempt and either adopts its encoding

@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"memotable/internal/faults"
+	"memotable/internal/trace"
+	"memotable/internal/tracestore"
+)
+
+// openStore is the test shorthand for a store in a fresh temp dir.
+func openStore(t *testing.T, dir string) *tracestore.Store {
+	t.Helper()
+	st, err := tracestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// storeEntries lists the sealed entry files in a store directory.
+func storeEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(dir, "t-*.mtrc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestStoreCrossEngine(t *testing.T) {
+	dir := t.TempDir()
+	const keys = 10
+
+	// First engine: cold store, every workload executes and is published.
+	a := New(4)
+	a.SetStore(openStore(t, dir))
+	var aExecs atomic.Int64
+	for i := 0; i < keys; i++ {
+		capture := func(s trace.Sink) {
+			aExecs.Add(1)
+			emitN(200+i, 16)(s)
+		}
+		var cnt trace.Counter
+		n, err := a.Replay(fmt.Sprintf("k%d", i), capture, &cnt)
+		if err != nil || n != uint64(200+i) {
+			t.Fatalf("cold replay k%d: n=%d err=%v", i, n, err)
+		}
+	}
+	if aExecs.Load() != keys || a.Captures() != keys {
+		t.Fatalf("cold engine executed %d workloads, %d captures, want %d",
+			aExecs.Load(), a.Captures(), keys)
+	}
+	if a.StoreHits() != 0 || a.StorePuts() != keys {
+		t.Fatalf("cold engine store traffic: %d hits, %d puts", a.StoreHits(), a.StorePuts())
+	}
+
+	// Second engine, second "process": every workload must come from the
+	// store without executing anything.
+	b := New(4)
+	b.SetStore(openStore(t, dir))
+	var bExecs atomic.Int64
+	for i := 0; i < keys; i++ {
+		capture := func(s trace.Sink) {
+			bExecs.Add(1)
+			emitN(200+i, 16)(s)
+		}
+		var cnt trace.Counter
+		n, err := b.Replay(fmt.Sprintf("k%d", i), capture, &cnt)
+		if err != nil || n != uint64(200+i) {
+			t.Fatalf("warm replay k%d: n=%d err=%v", i, n, err)
+		}
+	}
+	if bExecs.Load() != 0 || b.Captures() != 0 {
+		t.Fatalf("warm engine executed %d workloads, %d captures, want 0",
+			bExecs.Load(), b.Captures())
+	}
+	if b.StoreHits() != keys || b.StorePuts() != 0 {
+		t.Fatalf("warm engine store traffic: %d hits, %d puts", b.StoreHits(), b.StorePuts())
+	}
+}
+
+// TestStoreCorruptEntryRecapture vandalizes a stored entry at every byte
+// offset — one bit flip and one truncation per offset — and checks that
+// a fresh engine transparently re-captures exactly once and heals the
+// store for the engine after it.
+func TestStoreCorruptEntryRecapture(t *testing.T) {
+	dir := t.TempDir()
+	const events = 64
+
+	seed := New(1)
+	seed.SetStore(openStore(t, dir))
+	var cnt trace.Counter
+	if _, err := seed.Replay("victim", emitN(events, 8), &cnt); err != nil {
+		t.Fatal(err)
+	}
+	entries := storeEntries(t, dir)
+	if len(entries) != 1 {
+		t.Fatalf("store holds %d entries, want 1", len(entries))
+	}
+	path := entries[0]
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := func(offset int, truncate bool) []byte {
+		raw := append([]byte(nil), orig...)
+		if truncate {
+			return raw[:offset]
+		}
+		raw[offset] ^= 0x20
+		return raw
+	}
+
+	for offset := 0; offset < len(orig); offset++ {
+		for _, truncate := range []bool{false, true} {
+			if err := os.WriteFile(path, damage(offset, truncate), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			e := New(1)
+			e.SetStore(openStore(t, dir))
+			var execs atomic.Int64
+			capture := func(s trace.Sink) {
+				execs.Add(1)
+				emitN(events, 8)(s)
+			}
+			// Two replays: the first re-captures, the second must ride the
+			// engine's own cache — exactly one execution total.
+			for round := 0; round < 2; round++ {
+				var cnt trace.Counter
+				n, err := e.Replay("victim", capture, &cnt)
+				if err != nil || n != events {
+					t.Fatalf("offset %d truncate=%v round %d: n=%d err=%v",
+						offset, truncate, round, n, err)
+				}
+			}
+			if got := execs.Load(); got != 1 {
+				t.Fatalf("offset %d truncate=%v: workload executed %d times, want exactly 1",
+					offset, truncate, got)
+			}
+			// The re-capture's put healed the entry: the next engine hits.
+			h := New(1)
+			h.SetStore(openStore(t, dir))
+			var cnt2 trace.Counter
+			if _, err := h.Replay("victim", emitN(events, 8), &cnt2); err != nil {
+				t.Fatalf("offset %d truncate=%v: healed store replay: %v", offset, truncate, err)
+			}
+			if h.StoreHits() != 1 || h.Captures() != 0 {
+				t.Fatalf("offset %d truncate=%v: store not healed (%d hits, %d captures)",
+					offset, truncate, h.StoreHits(), h.Captures())
+			}
+		}
+	}
+}
+
+// TestStoreStaleVersionInvisible plants an entry of a foreign format
+// generation and checks it is neither read nor deleted: the engine
+// captures as on a miss, and the old build's file survives untouched.
+func TestStoreStaleVersionInvisible(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "t-"+strings.Repeat("ab", 16)+".v1.mtrc")
+	if err := os.WriteFile(stale, []byte("old generation"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := openStore(t, dir)
+	if n, err := st.Len(); err != nil || n != 0 {
+		t.Fatalf("stale entry counted by Len: %d, %v", n, err)
+	}
+	e := New(1)
+	e.SetStore(st)
+	var execs atomic.Int64
+	capture := func(s trace.Sink) {
+		execs.Add(1)
+		emitN(50, 8)(s)
+	}
+	var cnt trace.Counter
+	if _, err := e.Replay("k", capture, &cnt); err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 1 || e.StoreHits() != 0 {
+		t.Fatalf("stale entry served a hit: %d execs, %d hits", execs.Load(), e.StoreHits())
+	}
+	raw, err := os.ReadFile(stale)
+	if err != nil || string(raw) != "old generation" {
+		t.Fatalf("stale entry modified or deleted: %q, %v", raw, err)
+	}
+}
+
+// TestStoreHitRespectsBudget pins the fallback contract: a store hit
+// that does not fit the engine's cache budget is declined, and the
+// engine runs the workload directly instead of blowing the budget.
+func TestStoreHitRespectsBudget(t *testing.T) {
+	dir := t.TempDir()
+	seed := New(1)
+	seed.SetStore(openStore(t, dir))
+	var cnt trace.Counter
+	if _, err := seed.Replay("big", emitN(5000, 32), &cnt); err != nil {
+		t.Fatal(err)
+	}
+	if seed.StorePuts() != 1 {
+		t.Fatalf("seed engine puts = %d, want 1", seed.StorePuts())
+	}
+
+	e := New(1)
+	e.SetCacheLimit(64) // far below the stored trace
+	e.SetStore(openStore(t, dir))
+	var execs atomic.Int64
+	capture := func(s trace.Sink) {
+		execs.Add(1)
+		emitN(5000, 32)(s)
+	}
+	var got trace.Counter
+	n, err := e.Replay("big", capture, &got)
+	if err != nil || n != 5000 {
+		t.Fatalf("replay: n=%d err=%v", n, err)
+	}
+	if e.StoreHits() != 0 {
+		t.Fatalf("over-budget store entry adopted: %d hits", e.StoreHits())
+	}
+	if execs.Load() == 0 {
+		t.Fatal("workload never executed despite declined store hit")
+	}
+	if e.CachedBytes() != 0 {
+		t.Fatalf("budget blown: %d cached bytes over a %d limit", e.CachedBytes(), 64)
+	}
+}
+
+// TestStoreHammer drives several engines' worth of goroutines over
+// overlapping keys against one shared store while store I/O faults fire,
+// asserting the singleflight contract holds end to end: at most one
+// execution per (engine, key), every caller sees the full event count,
+// and nothing deadlocks.
+func TestStoreHammer(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		engines    = 3
+		goroutines = 8
+		keys       = 12
+		events     = 300
+	)
+
+	plan, err := faults.Parse("seed=7;store.read:p=0.05;store.write:p=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Activate(plan)
+	defer faults.Activate(nil)
+
+	var wg sync.WaitGroup
+	for ei := 0; ei < engines; ei++ {
+		e := New(4)
+		e.SetStore(openStore(t, dir))
+		execs := make([]atomic.Int64, keys)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < keys; k++ {
+					key := (g + k) % keys // overlapping, shifted key order
+					capture := func(s trace.Sink) {
+						execs[key].Add(1)
+						emitN(events, 16)(s)
+					}
+					var cnt trace.Counter
+					n, err := e.Replay(fmt.Sprintf("k%d", key), capture, &cnt)
+					if err != nil {
+						t.Errorf("engine %d key %d: %v", ei, key, err)
+						return
+					}
+					if n != events || cnt.Total() != events {
+						t.Errorf("engine %d key %d: %d events replayed, sink saw %d",
+							ei, key, n, cnt.Total())
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for k := range execs {
+			if got := execs[k].Load(); got > 1 {
+				t.Fatalf("engine %d key %d executed %d times, want at most 1", ei, k, got)
+			}
+		}
+	}
+
+	// Whatever the fault pattern did, surviving entries must all verify.
+	faults.Activate(nil)
+	st := openStore(t, dir)
+	for k := 0; k < keys; k++ {
+		if _, n, err := st.Get(fmt.Sprintf("k%d", k)); err == nil && n != events {
+			t.Fatalf("key %d stored with %d events, want %d", k, n, events)
+		}
+	}
+}

@@ -49,9 +49,9 @@ type Fig2Point struct {
 // planTable8 plans every Table 7 application over every catalog image it
 // accepts: one single-workload demand per (application, image) cell,
 // each with its own 32/4 table set. The entropy-measurement copies are
-// decimated here, in the serial plan phase — image allocation later
-// would race the synthetic address space against captures (captures
-// rewind it to make traces reproducible — see captureOf).
+// decimated here, in the serial plan phase, so the entropies are on hand
+// when finish runs (the copies are detached — entropy needs values, not
+// addresses).
 func planTable8(ctx *Context) ([]Demand, func() *Table8Result) {
 	apps := make([]workloads.App, 0, len(mmTable7Apps))
 	for _, name := range mmTable7Apps {

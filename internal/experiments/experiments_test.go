@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"memotable/internal/engine"
+	"memotable/internal/imaging"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/probe"
@@ -33,7 +34,7 @@ func TestTableSetRoutesMemoizableOps(t *testing.T) {
 }
 
 func TestMeasureAndMeasureMany(t *testing.T) {
-	run := func(p *probe.Probe) {
+	run := func(p *probe.Probe, _ *imaging.AddressSpace) {
 		for i := 0; i < 10; i++ {
 			p.FMul(2, 3)
 			p.Load(0x100)
@@ -340,7 +341,7 @@ func TestReplayFansOut(t *testing.T) {
 	a := NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly)
 	b := NewTableSet(memo.Infinite(), memo.NonTrivialOnly)
 	eng := engine.Serial()
-	capture := captureOf(func(p *probe.Probe) { p.FMul(2, 3) })
+	capture := captureOf(func(p *probe.Probe, _ *imaging.AddressSpace) { p.FMul(2, 3) })
 	if _, err := eng.ReplayAll("test|fanout", capture, []trace.Sink{a, b}); err != nil {
 		t.Fatal(err)
 	}

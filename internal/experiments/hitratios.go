@@ -4,6 +4,7 @@ import (
 	"memotable/internal/engine"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
+	"memotable/internal/probe"
 	"memotable/internal/report"
 	"memotable/internal/scientific"
 	"memotable/internal/trace"
@@ -87,7 +88,7 @@ func (p hitPair) row(name string) HitRow {
 // planSuiteHit plans one list of kernels against the paper's basic 32/4
 // configuration and the infinite table: one single-workload demand per
 // kernel, both table sets fed from the same fused replay.
-func planSuiteHit(ctx *Context, title string, names []string, runs []Runner) ([]Demand, func() *HitTable) {
+func planSuiteHit(ctx *Context, title string, names []string, runs []func(*probe.Probe)) ([]Demand, func() *HitTable) {
 	pairs := make([]hitPair, len(runs))
 	demands := make([]Demand, len(runs))
 	for i := range runs {
@@ -108,9 +109,9 @@ func planSuiteHit(ctx *Context, title string, names []string, runs []Runner) ([]
 }
 
 // kernelSuite flattens a kernel list into parallel name/run slices.
-func kernelSuite(ks []scientific.Kernel) (names []string, runs []Runner) {
+func kernelSuite(ks []scientific.Kernel) (names []string, runs []func(*probe.Probe)) {
 	names = make([]string, len(ks))
-	runs = make([]Runner, len(ks))
+	runs = make([]func(*probe.Probe), len(ks))
 	for i, k := range ks {
 		names[i], runs[i] = k.Name, k.Run
 	}

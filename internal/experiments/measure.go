@@ -86,12 +86,22 @@ func (ts *TableSet) HitRatio(op isa.Op) float64 {
 }
 
 // Runner abstracts "run this program through a probe": both MM image
-// applications and scientific kernels satisfy it.
-type Runner func(p *probe.Probe)
+// applications and scientific kernels satisfy it. The address space is
+// the run's own — images allocated from it carry bases independent of
+// anything else the process runs, so Runners can execute concurrently.
+type Runner func(p *probe.Probe, as *imaging.AddressSpace)
 
-// ImageRun curries an MM application with its input.
-func ImageRun(run func(*probe.Probe, *imaging.Image) *imaging.Image, in *imaging.Image) Runner {
-	return func(p *probe.Probe) { run(p, in) }
+// ImageRun curries an MM application with its input; the input is placed
+// into the run's address space before the application sees it, mirroring
+// the engine's capture path.
+func ImageRun(run func(*probe.Probe, *imaging.AddressSpace, *imaging.Image) *imaging.Image, in *imaging.Image) Runner {
+	return func(p *probe.Probe, as *imaging.AddressSpace) { run(p, as, as.Clone(in)) }
+}
+
+// kernelRunner lifts a scientific kernel (which touches no images) into
+// a Runner.
+func kernelRunner(run func(*probe.Probe)) Runner {
+	return func(p *probe.Probe, _ *imaging.AddressSpace) { run(p) }
 }
 
 // Measure runs the program once against table sets built from cfg and
@@ -100,7 +110,7 @@ func ImageRun(run func(*probe.Probe, *imaging.Image) *imaging.Image, in *imaging
 func Measure(run Runner, cfg memo.Config, policy memo.TrivialPolicy) (*TableSet, *trace.Counter) {
 	ts := NewTableSet(cfg, policy)
 	var c trace.Counter
-	run(probe.New(ts, &c))
+	run(probe.New(ts, &c), imaging.NewAddressSpace())
 	return ts, &c
 }
 
@@ -114,7 +124,7 @@ func MeasureMany(run Runner, policy memo.TrivialPolicy, cfgs ...memo.Config) []*
 		sets[i] = NewTableSet(cfg, policy)
 		sinks[i] = sets[i]
 	}
-	run(probe.New(trace.Multi(sinks)))
+	run(probe.New(trace.Multi(sinks)), imaging.NewAddressSpace())
 	return sets
 }
 
@@ -128,27 +138,24 @@ func appKey(app, input string, scale Scale) string {
 }
 
 // captureOf adapts a Runner to the engine's capture interface: the
-// workload executes against a probe whose only sink is the recorder.
-// The engine runs captures one at a time under a global lock, which lets
-// each capture rewind the synthetic image address space first — the
-// addresses a workload emits (and hence its cached trace) are then a
-// pure function of the workload, whatever else the process ran before.
+// workload executes against a probe whose only sink is the recorder,
+// allocating every image from a private address space. The addresses a
+// workload emits (and hence its cached trace) are a pure function of the
+// workload, so the engine runs captures concurrently on its worker pool.
 func captureOf(run Runner) engine.CaptureFunc {
 	return func(s trace.Sink) {
-		// Build the shared input catalog before rewinding so its one-time
-		// allocations never land inside a capture's address window —
-		// otherwise the first capture to touch an image would see its own
-		// allocations shifted relative to every later capture.
-		imaging.Catalog()
-		imaging.ResetBase()
-		run(probe.New(s))
+		run(probe.New(s), imaging.NewAddressSpace())
 	}
 }
 
 // appRunner curries an MM application with a named input, deferring the
 // image load/decimate to capture time so cache hits skip it entirely.
+// Decimating the input is the run's first allocation, so every capture
+// of the same (app, input, scale) triple sees identical addresses.
 func appRunner(app workloads.App, input string, scale Scale) Runner {
-	return func(p *probe.Probe) { app.Run(p, inputFor(input, scale)) }
+	return func(p *probe.Probe, as *imaging.AddressSpace) {
+		app.Run(p, as, as.Decimate(catalogImage(input), scale.maxDim()))
+	}
 }
 
 // meanIgnoringNaN averages the defined values; NaN entries ('-') are

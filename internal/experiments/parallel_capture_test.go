@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"memotable/internal/engine"
+	"memotable/internal/scientific"
+	"memotable/internal/trace"
+	"memotable/internal/workloads"
+)
+
+// allCaptures enumerates one capture per registered workload: every MM
+// application on its first input at Tiny scale, and every scientific
+// kernel of both suites. It is the capture surface the engine fans out
+// across its worker pool.
+func allCaptures() (names []string, caps []engine.CaptureFunc) {
+	for _, app := range workloads.Apps() {
+		names = append(names, appKey(app.Name, app.Inputs[0], Tiny))
+		caps = append(caps, captureOf(appRunner(app, app.Inputs[0], Tiny)))
+	}
+	for _, k := range scientific.All() {
+		names = append(names, kernelKey(k.Name))
+		caps = append(caps, captureOf(kernelRunner(k.Run)))
+	}
+	return names, caps
+}
+
+// encode runs a capture into an in-memory v2 trace stream.
+func encode(t testing.TB, capture engine.CaptureFunc) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriterV2(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelCaptureBytesMatchSerial is the differential test behind
+// the engine's lock-free capture path: for every registered workload,
+// the v2 trace captured on a bare goroutine among seven other captures
+// running concurrently is byte-identical to the one captured alone.
+// Per-capture address spaces are what make this hold — any leak of
+// shared mutable state into a capture shows up here as a byte diff.
+func TestParallelCaptureBytesMatchSerial(t *testing.T) {
+	names, caps := allCaptures()
+
+	serial := make([][]byte, len(caps))
+	for i, c := range caps {
+		serial[i] = encode(t, c)
+	}
+
+	const workers = 8
+	parallel := make([][]byte, len(caps))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				parallel[i] = encode(t, caps[i])
+			}
+		}()
+	}
+	for i := range caps {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i := range caps {
+		if len(serial[i]) == 0 {
+			t.Errorf("%s: empty serial capture", names[i])
+			continue
+		}
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("%s: parallel capture differs from serial (%d vs %d bytes)",
+				names[i], len(parallel[i]), len(serial[i]))
+		}
+	}
+}

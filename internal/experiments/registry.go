@@ -9,6 +9,7 @@ import (
 	"memotable/internal/engine"
 	"memotable/internal/imaging"
 	"memotable/internal/isa"
+	"memotable/internal/probe"
 	"memotable/internal/report"
 	"memotable/internal/workloads"
 )
@@ -58,13 +59,21 @@ func (s Scale) maxDim() int {
 	}
 }
 
-// inputFor fetches and decimates a catalog input.
-func inputFor(name string, scale Scale) *imaging.Image {
+// catalogImage resolves a catalog input; unknown names are programming
+// errors (the registry's input lists are static).
+func catalogImage(name string) *imaging.Image {
 	in := imaging.Find(name)
 	if in == nil {
 		panic("experiments: unknown input " + name)
 	}
-	return in.Image.Decimate(scale.maxDim())
+	return in.Image
+}
+
+// inputFor fetches and decimates a catalog input. The result is
+// detached (no base address): plan-time consumers use it for values
+// only, and capture-time consumers place it via AddressSpace.Decimate.
+func inputFor(name string, scale Scale) *imaging.Image {
+	return catalogImage(name).Decimate(scale.maxDim())
 }
 
 // Workload names one capturable operand stream for the planner: the
@@ -88,10 +97,8 @@ type Plan struct {
 
 // Experiment is one registered table or figure: its registry name, its
 // human title, the operation classes it measures, and its plan
-// function. Plan functions run serially across a selection (they may
-// allocate from the synthetic image address space, which must not race
-// the captures that later rewind it) and must not capture or replay
-// anything themselves — that is the planner's job.
+// function. Plan functions run serially across a selection and must not
+// capture or replay anything themselves — that is the planner's job.
 type Experiment struct {
 	Name  string
 	Title string
@@ -143,8 +150,8 @@ func (c *Context) AppWorkloads(app workloads.App) []Workload {
 }
 
 // KernelWorkload names one scientific kernel run.
-func (c *Context) KernelWorkload(name string, run Runner) Workload {
-	return Workload{Key: kernelKey(name), Capture: captureOf(run)}
+func (c *Context) KernelWorkload(name string, run func(*probe.Probe)) Workload {
+	return Workload{Key: kernelKey(name), Capture: captureOf(kernelRunner(run))}
 }
 
 // registry holds the experiments by name.

@@ -31,11 +31,10 @@ type ReuseComparison struct {
 }
 
 // planReuse plans the comparison. The PC-keyed streams are synthesized,
-// not traced, so there are no demands for the planner — but the input
-// image is decimated here, in the serial plan phase, because allocating
-// images concurrently with captures would perturb the synthetic address
-// space that captures rewind (see captureOf). Finish fans the two
-// compilations out on the engine.
+// not traced, so there are no demands for the planner — the input image
+// is decimated once here and read for its values only (detached images
+// carry no addresses). Finish fans the two compilations out on the
+// engine.
 func planReuse(ctx *Context) ([]Demand, func() *ReuseComparison) {
 	img := ctx.Input("airport1")
 	finish := func() *ReuseComparison {

@@ -68,6 +68,14 @@ const (
 	// the block path, once per stream on the byte paths. Panic mode
 	// simulates a panicking measurement sink.
 	SinkEmit = "engine.sink.emit"
+	// StoreRead fires before a persistent trace-store entry is opened
+	// and verified. Error mode makes the lookup a miss.
+	StoreRead = "store.read"
+	// StoreWrite fires before each write to a trace-store temp file.
+	StoreWrite = "store.write"
+	// StoreRename fires before a sealed store temp file is renamed to
+	// its content-addressed name.
+	StoreRename = "store.rename"
 )
 
 // Points returns the injection-point catalog, sorted.
@@ -75,6 +83,7 @@ func Points() []string {
 	pts := []string{
 		CaptureRun, SpillCreate, SpillWrite, SpillRename, SpillRead,
 		FrameCRC, BlockDecode, SinkEmit,
+		StoreRead, StoreWrite, StoreRename,
 	}
 	sort.Strings(pts)
 	return pts

@@ -1,0 +1,62 @@
+package imaging
+
+// AddressSpace hands out synthetic base addresses for the images one
+// workload run touches. Every capture builds its own space starting at
+// the canonical base, so the addresses a workload emits — and therefore
+// its recorded trace — are a pure function of the workload, whatever
+// else the process runs concurrently. (The per-capture space replaces a
+// process-global counter, which forced every capture to serialize under
+// one lock so it could rewind the counter first.)
+//
+// An AddressSpace is not safe for concurrent use: a capture owns its
+// space for the duration of the run, the way a process owns its address
+// space.
+type AddressSpace struct {
+	next uint64
+}
+
+// NewAddressSpace returns a fresh space. Allocation starts at the same
+// base for every space, which is what makes two captures of the same
+// workload lay their images out identically.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{next: baseStart}
+}
+
+// alloc reserves room for a w×h×bands image plus a 4 KiB guard gap and
+// returns its base address.
+func (as *AddressSpace) alloc(w, h, bands int) uint64 {
+	size := uint64(w*h*bands*8 + 4096)
+	base := as.next
+	as.next += size
+	return base
+}
+
+// New allocates a w×h image with the given bands and kind at the next
+// base address of the space.
+func (as *AddressSpace) New(w, h, bands int, kind Kind) *Image {
+	im := New(w, h, bands, kind)
+	im.Base = as.alloc(w, h, bands)
+	return im
+}
+
+// Clone copies im into a fresh allocation from the space.
+func (as *AddressSpace) Clone(im *Image) *Image {
+	out := as.New(im.W, im.H, im.Bands, im.Kind)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Decimate subsamples im so that neither dimension exceeds maxDim,
+// allocating the result from the space — the capture-time counterpart
+// of Image.Decimate. Decimating the input is a capture's first
+// allocation, so every capture of the same workload sees its input at
+// the same base address.
+func (as *AddressSpace) Decimate(im *Image, maxDim int) *Image {
+	k := decimateStride(im, maxDim)
+	if k == 1 {
+		return as.Clone(im)
+	}
+	out := as.New((im.W+k-1)/k, (im.H+k-1)/k, im.Bands, im.Kind)
+	fillDecimated(out, im, k)
+	return out
+}

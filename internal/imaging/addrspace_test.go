@@ -1,0 +1,66 @@
+package imaging
+
+import "testing"
+
+func TestAddressSpaceLayoutDeterministic(t *testing.T) {
+	// Two spaces given the same allocation sequence must produce the same
+	// layout — the property that lets captures run concurrently and still
+	// emit byte-identical traces.
+	layout := func() []uint64 {
+		as := NewAddressSpace()
+		a := as.New(32, 24, 1, Byte)
+		b := as.New(32, 24, 2, Float)
+		c := as.Clone(a)
+		return []uint64{a.Base, b.Base, c.Base}
+	}
+	x, y := layout(), layout()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("allocation %d: base %#x vs %#x across identical spaces", i, x[i], y[i])
+		}
+	}
+	if x[0] != baseStart {
+		t.Fatalf("first allocation at %#x, want %#x", x[0], baseStart)
+	}
+}
+
+func TestAddressSpaceAllocArithmetic(t *testing.T) {
+	// Consecutive allocations are spaced by the image footprint plus the
+	// 4 KiB guard gap, the layout the recorded traces depend on.
+	as := NewAddressSpace()
+	a := as.New(10, 7, 3, Float)
+	b := as.New(1, 1, 1, Byte)
+	want := a.Base + uint64(10*7*3*8+4096)
+	if b.Base != want {
+		t.Fatalf("second base %#x, want %#x", b.Base, want)
+	}
+}
+
+func TestAddressSpaceCloneAndDecimate(t *testing.T) {
+	src := Ramp(33, 17)
+	as := NewAddressSpace()
+	c := as.Clone(src)
+	if c.Base == 0 || c.At(5, 5, 0) != src.At(5, 5, 0) {
+		t.Fatal("space clone lost placement or values")
+	}
+	// A space decimate must match the detached Image.Decimate sample for
+	// sample, differing only in placement.
+	d := as.Decimate(src, 16)
+	ref := src.Decimate(16)
+	if d.W != ref.W || d.H != ref.H {
+		t.Fatalf("decimate geometry %dx%d, want %dx%d", d.W, d.H, ref.W, ref.H)
+	}
+	if d.Base == 0 || ref.Base != 0 {
+		t.Fatal("space/detached placement inverted")
+	}
+	for i := range d.Pix {
+		if d.Pix[i] != ref.Pix[i] {
+			t.Fatalf("decimate sample %d diverges", i)
+		}
+	}
+	// Under the bound, Decimate degenerates to Clone (stride 1).
+	whole := as.Decimate(src, 64)
+	if whole.W != src.W || whole.H != src.H {
+		t.Fatal("stride-1 decimate resized the image")
+	}
+}

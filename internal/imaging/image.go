@@ -10,7 +10,6 @@ package imaging
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"memotable/internal/stats"
 )
@@ -50,33 +49,22 @@ type Image struct {
 	Pix         []float64
 }
 
-// baseStart is where the synthetic address space begins.
+// baseStart is where every synthetic address space begins.
 const baseStart uint64 = 0x10000000
 
-// nextBase spaces image allocations in the synthetic address space.
-var nextBase atomic.Uint64
-
-func init() { nextBase.Store(baseStart) }
-
-// ResetBase rewinds the synthetic address space to its start. A workload
-// capture calls it (under the experiment engine's global capture lock)
-// so that the addresses a workload emits are a pure function of the
-// workload — independent of what else the process allocated first — and
-// its recorded trace is therefore reproducible run to run.
-func ResetBase() { nextBase.Store(baseStart) }
-
-// New allocates a w×h image with the given bands and kind.
+// New allocates a w×h image with the given bands and kind. The image is
+// detached: its Base is zero until it is placed by an AddressSpace.
+// Workloads allocate through AddressSpace.New instead, so the base
+// addresses a capture emits are a pure per-capture function — there is
+// no process-global allocation state.
 func New(w, h, bands int, kind Kind) *Image {
 	if w <= 0 || h <= 0 || bands <= 0 {
 		panic(fmt.Sprintf("imaging: invalid dimensions %dx%dx%d", w, h, bands))
 	}
-	size := uint64(w*h*bands*8 + 4096)
-	im := &Image{
+	return &Image{
 		W: w, H: h, Bands: bands, Kind: kind,
-		Base: nextBase.Add(size) - size,
-		Pix:  make([]float64, w*h*bands),
+		Pix: make([]float64, w*h*bands),
 	}
-	return im
 }
 
 // idx returns the sample index for (x, y, band).
@@ -96,7 +84,8 @@ func (im *Image) Addr(x, y, b int) uint64 {
 	return im.Base + uint64(im.idx(x, y, b))*8
 }
 
-// Clone deep-copies the image (new base address).
+// Clone deep-copies the image into a detached copy (Base zero); use
+// AddressSpace.Clone to copy into a capture's address space.
 func (im *Image) Clone() *Image {
 	out := New(im.W, im.H, im.Bands, im.Kind)
 	copy(out.Pix, im.Pix)
@@ -188,8 +177,21 @@ func (im *Image) WindowEntropy(win int) float64 {
 // Decimate returns the image subsampled so that neither dimension exceeds
 // maxDim (picking every k-th sample). Experiment drivers use it to run the
 // full workload matrix at reduced cost; subsampling preserves the value
-// histogram — and therefore the entropy — up to sampling noise.
+// histogram — and therefore the entropy — up to sampling noise. The
+// result is detached (Base zero); captures use AddressSpace.Decimate.
 func (im *Image) Decimate(maxDim int) *Image {
+	k := decimateStride(im, maxDim)
+	if k == 1 {
+		return im.Clone()
+	}
+	out := New((im.W+k-1)/k, (im.H+k-1)/k, im.Bands, im.Kind)
+	fillDecimated(out, im, k)
+	return out
+}
+
+// decimateStride returns the subsample stride that bounds im's geometry
+// to maxDim pixels per side.
+func decimateStride(im *Image, maxDim int) int {
 	if maxDim <= 0 {
 		panic("imaging: Decimate needs a positive bound")
 	}
@@ -197,10 +199,11 @@ func (im *Image) Decimate(maxDim int) *Image {
 	for im.W/k > maxDim || im.H/k > maxDim {
 		k++
 	}
-	if k == 1 {
-		return im.Clone()
-	}
-	out := New((im.W+k-1)/k, (im.H+k-1)/k, im.Bands, im.Kind)
+	return k
+}
+
+// fillDecimated writes every k-th sample of im into out.
+func fillDecimated(out, im *Image, k int) {
 	for b := 0; b < im.Bands; b++ {
 		for y := 0; y < out.H; y++ {
 			for x := 0; x < out.W; x++ {
@@ -208,7 +211,6 @@ func (im *Image) Decimate(maxDim int) *Image {
 			}
 		}
 	}
-	return out
 }
 
 // MinMax returns the extreme samples of band b.

@@ -15,13 +15,17 @@ func TestNewAndAccessors(t *testing.T) {
 	if im.At(0, 0, 0) != 0 {
 		t.Fatal("zero init")
 	}
-	// Addresses are 8 bytes apart sample-to-sample and distinct per image.
+	// Addresses are 8 bytes apart sample-to-sample; package-level images
+	// are detached until an AddressSpace places them.
 	if im.Addr(1, 0, 0)-im.Addr(0, 0, 1) != 8 {
 		t.Fatal("address stride")
 	}
-	other := New(4, 3, 2, Byte)
-	if other.Base == im.Base {
-		t.Fatal("images share a base address")
+	if im.Base != 0 {
+		t.Fatal("detached image carries a base address")
+	}
+	as := NewAddressSpace()
+	if other := as.New(4, 3, 2, Byte); other.Base == as.New(4, 3, 2, Byte).Base {
+		t.Fatal("space images share a base address")
 	}
 	defer func() {
 		if recover() == nil {

@@ -42,6 +42,12 @@ import (
 const (
 	formatVersionV2 = 2
 
+	// VersionV2 exports the v2 format generation number. The persistent
+	// trace store folds it into its content keys and file names, so
+	// entries written by another format generation are invisible to this
+	// build rather than misread.
+	VersionV2 = formatVersionV2
+
 	// flagFlate marks frame payloads as DEFLATE-compressed. Remaining
 	// flag bits are reserved and must be zero.
 	flagFlate = 0x01

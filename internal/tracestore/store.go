@@ -1,0 +1,223 @@
+// Package tracestore is the persistent, content-addressed home of
+// settled operand traces. A settled trace is a pure function of its
+// workload fingerprint and the trace-format generation — the per-capture
+// address spaces in internal/imaging guarantee the first half, the
+// format version pins the second — so a trace captured by one process is
+// valid in every other process on the machine. The store turns that
+// purity into wall-clock: an engine consults it before executing any
+// workload, and a warm store makes a whole experiment matrix replay-only.
+//
+// On disk an entry is the raw v2 trace byte stream under the name
+//
+//	t-<key>.v<version>.mtrc
+//
+// where key is a 128-bit content address derived from the fingerprint
+// and version (see Key). The version appears in both the hash and the
+// file name: a build with a newer trace format simply never looks at the
+// old generation's names, so stale entries are invisible — not deleted
+// from under a concurrent reader still running the old build.
+//
+// Writes follow the temp-then-rename discipline of the engine's spill
+// tier: the stream lands in a "t-*.mtrc.tmp" file that is synced, closed
+// and atomically renamed to its durable name, so a reader can never
+// observe a torn entry and a process death mid-put leaves only suffixed
+// garbage, which Open sweeps. Concurrent writers of the same key are
+// benign: captures are deterministic, so both write the same bytes and
+// the last rename wins.
+//
+// The trace bytes are followed on disk by a 16-byte seal trailer: a
+// magic, a CRC32C over the whole body, and the body length. Frame
+// checksums alone cannot catch a file truncated at a frame boundary —
+// the stream just looks shorter — but such a cut destroys the trailer,
+// so the entry reads as a miss. Get verifies the seal and then every
+// frame CRC before a byte is handed to the engine; a corrupt or
+// truncated entry reads as a miss, and the put that follows the
+// re-capture heals it.
+package tracestore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memotable/internal/faults"
+	"memotable/internal/trace"
+)
+
+// tempSuffix marks an entry that has not been sealed yet.
+const tempSuffix = ".tmp"
+
+// The seal trailer closing every entry: magic, CRC32C of the body, body
+// length. Its only job is detecting truncation and damage that frame
+// checksums cannot see; it is stripped before the bytes leave Get.
+const (
+	trailerMagic = "MTSE"
+	trailerLen   = 16
+)
+
+// castagnoli is the CRC32C table behind every seal checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrMiss reports that a fingerprint has no usable entry: absent,
+// torn, or failing CRC verification. All three read identically to the
+// engine — capture, then Put to heal.
+var ErrMiss = errors.New("tracestore: miss")
+
+// Store is a directory of content-addressed trace entries. All methods
+// are safe for concurrent use by any number of goroutines and processes.
+type Store struct {
+	dir string
+}
+
+// Open prepares dir as a trace store, creating it if needed and
+// sweeping temp files a dead process left behind. Sealed entries are
+// never touched by the sweep.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("tracestore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	orphans, err := filepath.Glob(filepath.Join(dir, "t-*.mtrc"+tempSuffix))
+	if err == nil {
+		for _, p := range orphans {
+			_ = os.Remove(p)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key returns the content address of a workload fingerprint under the
+// current trace-format generation: the first 128 bits of
+// sha256("memotable-trace\x00v<version>\x00" + fingerprint), hex-encoded.
+// The domain prefix keeps store keys disjoint from any other sha256 use,
+// and folding the version in means a format bump re-keys every entry.
+func Key(fingerprint string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "memotable-trace\x00v%d\x00%s", trace.VersionV2, fingerprint)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// entryPath returns the durable file name for a fingerprint.
+func (s *Store) entryPath(fingerprint string) string {
+	return filepath.Join(s.dir, fmt.Sprintf("t-%s.v%d.mtrc", Key(fingerprint), trace.VersionV2))
+}
+
+// Get returns the verified trace bytes for a fingerprint and their
+// event count, or ErrMiss. The seal trailer and every frame checksum
+// are verified before the bytes are returned, so a torn, truncated, or
+// bit-flipped entry is reported as a miss rather than replayed.
+func (s *Store) Get(fingerprint string) ([]byte, uint64, error) {
+	if err := faults.Inject(faults.StoreRead); err != nil {
+		return nil, 0, fmt.Errorf("%w: %w", ErrMiss, err)
+	}
+	data, err := os.ReadFile(s.entryPath(fingerprint))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, ErrMiss
+		}
+		return nil, 0, fmt.Errorf("%w: %w", ErrMiss, err)
+	}
+	if len(data) < trailerLen {
+		return nil, 0, fmt.Errorf("%w: entry shorter than its seal", ErrMiss)
+	}
+	body, seal := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	switch {
+	case string(seal[:4]) != trailerMagic:
+		return nil, 0, fmt.Errorf("%w: entry seal missing", ErrMiss)
+	case binary.LittleEndian.Uint64(seal[8:]) != uint64(len(body)):
+		return nil, 0, fmt.Errorf("%w: entry truncated", ErrMiss)
+	case crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(seal[4:]):
+		return nil, 0, fmt.Errorf("%w: entry seal CRC mismatch", ErrMiss)
+	}
+	events, err := trace.Verify(bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: entry corrupt: %w", ErrMiss, err)
+	}
+	return body, events, nil
+}
+
+// Put installs a trace for a fingerprint from its in-memory bytes.
+func (s *Store) Put(fingerprint string, data []byte) error {
+	return s.install(fingerprint, strings.NewReader(string(data)))
+}
+
+// PutFile installs a trace for a fingerprint by copying an existing
+// trace file (an engine spill file, typically).
+func (s *Store) PutFile(fingerprint, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return s.install(fingerprint, f)
+}
+
+// install streams a trace into a temp file, appends the seal trailer,
+// and atomically renames the file to the fingerprint's durable name. On
+// any failure the temp file is removed and the store is unchanged.
+func (s *Store) install(fingerprint string, r io.Reader) error {
+	f, err := os.CreateTemp(s.dir, "t-*.mtrc"+tempSuffix)
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := faults.Inject(faults.StoreWrite); err != nil {
+		return fail(err)
+	}
+	crc := crc32.New(castagnoli)
+	n, err := io.Copy(io.MultiWriter(f, crc), r)
+	if err != nil {
+		return fail(err)
+	}
+	var seal [trailerLen]byte
+	copy(seal[:4], trailerMagic)
+	binary.LittleEndian.PutUint32(seal[4:], crc.Sum32())
+	binary.LittleEndian.PutUint64(seal[8:], uint64(n))
+	if _, err := f.Write(seal[:]); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := faults.Inject(faults.StoreRename); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	if err := os.Rename(tmp, s.entryPath(fingerprint)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	return nil
+}
+
+// Len counts the sealed entries of the current format generation.
+func (s *Store) Len() (int, error) {
+	entries, err := filepath.Glob(filepath.Join(s.dir, fmt.Sprintf("t-*.v%d.mtrc", trace.VersionV2)))
+	if err != nil {
+		return 0, fmt.Errorf("tracestore: %w", err)
+	}
+	return len(entries), nil
+}

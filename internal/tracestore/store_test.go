@@ -1,0 +1,211 @@
+package tracestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memotable/internal/faults"
+	"memotable/internal/isa"
+	"memotable/internal/trace"
+)
+
+// testTrace encodes n synthetic events into a valid v2 byte stream.
+func testTrace(t testing.TB, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriterV2(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w.Emit(trace.Event{Op: isa.OpFMul, A: uint64(i), B: uint64(i * 3)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testTrace(t, 100)
+	if _, _, err := s.Get("mm|vdiff|mandrill|32"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("empty store Get = %v, want ErrMiss", err)
+	}
+	if err := s.Put("mm|vdiff|mandrill|32", data); err != nil {
+		t.Fatal(err)
+	}
+	got, events, err := s.Get("mm|vdiff|mandrill|32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stored bytes differ from put bytes")
+	}
+	if events != 100 {
+		t.Fatalf("event count %d, want 100", events)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	// Different fingerprints must not collide.
+	if _, _, err := s.Get("mm|vdiff|mandrill|64"); !errors.Is(err, ErrMiss) {
+		t.Fatal("different fingerprint served the same entry")
+	}
+}
+
+func TestStorePutFile(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testTrace(t, 50)
+	src := filepath.Join(t.TempDir(), "spill.mtrc")
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFile("sci|vpenta", src); err != nil {
+		t.Fatal(err)
+	}
+	got, events, err := s.Get("sci|vpenta")
+	if err != nil || !bytes.Equal(got, data) || events != 50 {
+		t.Fatalf("PutFile round trip: %v, %d events", err, events)
+	}
+	if err := s.PutFile("sci|nope", filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("PutFile accepted a missing source")
+	}
+}
+
+func TestStoreCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("fp", testTrace(t, 64)); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := filepath.Glob(filepath.Join(dir, "t-*.mtrc"))
+	if len(entries) != 1 {
+		t.Fatalf("store holds %d entries, want 1", len(entries))
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(entries[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("fp"); !errors.Is(err, ErrMiss) {
+		t.Fatalf("corrupt entry Get = %v, want ErrMiss", err)
+	}
+	// A fresh put heals the entry in place.
+	if err := s.Put("fp", testTrace(t, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("fp"); err != nil {
+		t.Fatalf("healed entry still missing: %v", err)
+	}
+}
+
+func TestStoreKeyProperties(t *testing.T) {
+	k := Key("mm|vdiff|mandrill|32")
+	if len(k) != 32 || strings.ToLower(k) != k {
+		t.Fatalf("key %q not 32 lowercase hex chars", k)
+	}
+	if Key("a") == Key("b") {
+		t.Fatal("distinct fingerprints share a key")
+	}
+	if Key("a") != Key("a") {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestOpenSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("keep", testTrace(t, 8)); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "t-deadbeef.mtrc"+tempSuffix)
+	if err := os.WriteFile(orphan, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("orphan temp file survived Open")
+	}
+	if _, _, err := s.Get("keep"); err != nil {
+		t.Fatal("sealed entry swept alongside orphans")
+	}
+}
+
+func TestStoreFaultPoints(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testTrace(t, 8)
+	if err := s.Put("fp", data); err != nil {
+		t.Fatal(err)
+	}
+
+	activate := func(spec string) {
+		t.Helper()
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults.Activate(plan)
+	}
+	defer faults.Activate(nil)
+
+	activate("seed=1;store.read:count=1")
+	if _, _, err := s.Get("fp"); !errors.Is(err, ErrMiss) || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("injected read fault Get = %v, want injected miss", err)
+	}
+	if _, _, err := s.Get("fp"); err != nil {
+		t.Fatalf("Get after exhausted fault budget: %v", err)
+	}
+
+	for i, spec := range []string{"seed=1;store.write:count=1", "seed=1;store.rename:count=1"} {
+		fp := fmt.Sprintf("fp-write-%d", i)
+		activate(spec)
+		if err := s.Put(fp, data); !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("%s: Put = %v, want injected fault", spec, err)
+		}
+		// A failed put leaves no temp garbage and no entry.
+		tmps, _ := filepath.Glob(filepath.Join(s.Dir(), "t-*"+tempSuffix))
+		if len(tmps) != 0 {
+			t.Fatalf("%s: %d temp files left behind", spec, len(tmps))
+		}
+		if _, _, err := s.Get(fp); !errors.Is(err, ErrMiss) {
+			t.Fatalf("%s: torn put produced a readable entry", spec)
+		}
+		faults.Activate(nil)
+		// The put succeeds once the fault clears.
+		if err := s.Put(fp, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open accepted an empty directory")
+	}
+}

@@ -33,8 +33,8 @@ func toField(p *probe.Probe, in *imaging.Image, b int) *signal.Field {
 }
 
 // fromField writes the field's real plane into an output image.
-func fromField(p *probe.Probe, f *signal.Field) *imaging.Image {
-	out := imaging.New(f.W, f.H, 1, imaging.Float)
+func fromField(p *probe.Probe, as *imaging.AddressSpace, f *signal.Field) *imaging.Image {
+	out := as.New(f.W, f.H, 1, imaging.Float)
 	for y := 0; y < f.H; y++ {
 		for x := 0; x < f.W; x++ {
 			re, _ := f.At(x, y)
@@ -48,31 +48,31 @@ func fromField(p *probe.Probe, f *signal.Field) *imaging.Image {
 // 2-D FFT, a reject annulus, inverse FFT. Spectrum values are
 // high-entropy, so — as Table 7 reports — the multiplication hit ratio is
 // very low (.01); the value of vbrf to the study is as a counterexample.
-func VBrf(p *probe.Probe, in *imaging.Image) *imaging.Image {
+func VBrf(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
 	f := toField(p, in, 0)
 	signal.FFT2D(p, f, false)
 	signal.RadialMask(p, f, 0.15, 0.30, 0, 1)
 	signal.FFT2D(p, f, true)
-	return fromField(p, f)
+	return fromField(p, as, f)
 }
 
 // VBpf band-pass filters the image in the frequency domain, keeping only
 // a narrow annulus. Most spectrum samples multiply by the stop gain and
 // the sparse surviving spectrum yields more repetitive inverse-transform
 // values than vbrf.
-func VBpf(p *probe.Probe, in *imaging.Image) *imaging.Image {
+func VBpf(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
 	f := toField(p, in, 0)
 	signal.FFT2D(p, f, false)
 	signal.RadialMask(p, f, 0.05, 0.15, 1, 0)
 	signal.FFT2D(p, f, true)
-	return fromField(p, f)
+	return fromField(p, as, f)
 }
 
 // VRect2Pol converts rectangular complex data to polar form: magnitude
 // via square root, phase via a rational arctangent approximation whose
 // divisions take quantized operand pairs.
-func VRect2Pol(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, 2, imaging.Float)
+func VRect2Pol(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, 2, imaging.Float)
 	for y := 0; y < in.H; y++ {
 		for x := 0; x < in.W; x++ {
 			pixelOverhead(p)
@@ -99,9 +99,9 @@ func VRect2Pol(p *probe.Probe, in *imaging.Image) *imaging.Image {
 
 // VMpp extracts 2-D information from a COMPLEX image: per-pixel power,
 // normalized real part and the local phase-difference energy.
-func VMpp(p *probe.Probe, in *imaging.Image) *imaging.Image {
+func VMpp(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
 	f := toField(p, in, 0)
-	out := imaging.New(f.W, f.H, 2, imaging.Float)
+	out := as.New(f.W, f.H, 2, imaging.Float)
 	for y := 0; y < f.H; y++ {
 		for x := 0; x < f.W; x++ {
 			pixelOverhead(p)

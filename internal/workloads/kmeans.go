@@ -10,12 +10,12 @@ import (
 // between a quantized pixel and a centroid — operand pairs drawn from a
 // small product set — and the centroid updates divide class sums by class
 // counts, both highly repetitive across iterations.
-func VKMeans(p *probe.Probe, in *imaging.Image) *imaging.Image {
+func VKMeans(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
 	const (
 		k     = 6
 		iters = 6
 	)
-	out := imaging.New(in.W, in.H, in.Bands, in.Kind)
+	out := as.New(in.W, in.H, in.Bands, in.Kind)
 	for b := 0; b < in.Bands; b++ {
 		lo, hi := in.MinMax(b)
 		centroids := make([]float64, k)

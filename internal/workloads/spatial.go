@@ -10,8 +10,8 @@ import (
 // VDiff differentiates the image with two 3×3 weighted (Sobel) operators.
 // Pixel-kernel products on quantized inputs are integer multiplications;
 // the gradient magnitude is assembled in floating point.
-func VDiff(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, in.Kind)
+func VDiff(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, in.Kind)
 	sobelX := [9]int64{-1, 0, 1, -2, 0, 2, -1, 0, 1}
 	sobelY := [9]int64{-1, -2, -1, 0, 0, 0, 1, 2, 1}
 	for b := 0; b < in.Bands; b++ {
@@ -56,8 +56,8 @@ func VDiff(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // VGef is a generalized edge finder: a smoothed gradient from two
 // fractional-weight convolution kernels, thresholded against the local
 // response. No division appears in the kernel path, matching Table 7.
-func VGef(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, in.Kind)
+func VGef(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, in.Kind)
 	kx := [9]float64{-0.25, 0, 0.25, -0.5, 0, 0.5, -0.25, 0, 0.25}
 	ky := [9]float64{-0.25, -0.5, -0.25, 0, 0, 0, 0.25, 0.5, 0.25}
 	for b := 0; b < in.Bands; b++ {
@@ -96,8 +96,8 @@ func VGef(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // maps. Sums of quantized pixels form a small value set, so the
 // per-window divisions repeat heavily — this is the paper's best
 // fdiv-memoization case (hit ratio .94).
-func VSpatial(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, 2*in.Bands, imaging.Float)
+func VSpatial(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, 2*in.Bands, imaging.Float)
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
 			for x := 0; x < in.W; x++ {
@@ -134,8 +134,8 @@ func VSpatial(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // (Table 7 shows no integer multiplications for venhance); the gain
 // divisions involve a continuous denominator, giving the moderate fdiv
 // reuse the paper reports (.12).
-func VEnhance(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+func VEnhance(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, imaging.Float)
 	const targetSigma = 24.0
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
@@ -177,8 +177,8 @@ func VEnhance(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // extrema: out = (v - lo) * step with an integer reciprocal step from a
 // small lookup set, matching Table 7's profile for venhpatch (heavy
 // integer-multiply reuse, no division).
-func VEnhPatch(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, in.Kind)
+func VEnhPatch(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, in.Kind)
 	const patch = 16
 	// Fixed-point reciprocal table (host-prepared constant data, as the
 	// original prepares its stretch LUT outside the pixel loop).
@@ -233,8 +233,8 @@ func VEnhPatch(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // fit accumulations and the subtraction are floating point only; the
 // closed-form 3×3 solve happens once per image in the setup code (no
 // dynamic division stream, matching Table 7's '-' entries).
-func VDetilt(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+func VDetilt(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, imaging.Float)
 	for b := 0; b < in.Bands; b++ {
 		// Accumulate moments for the normal equations.
 		var sz, sxz, syz float64

@@ -11,8 +11,8 @@ import (
 // treating pixel values as elevations: per step the squared elevation
 // delta (an integer product of small differences) is normalized by the
 // local elevation scale and accumulated through a square root.
-func VCost(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+func VCost(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, imaging.Float)
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
 			var cost float64
@@ -47,8 +47,8 @@ func VCost(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // VSlope derives slope and aspect from elevation data via central
 // differences. The aspect ratio gy/gx divides small integer-valued
 // gradients; the slope uses squared gradients.
-func VSlope(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, 2*in.Bands, imaging.Float)
+func VSlope(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, 2*in.Bands, imaging.Float)
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
 			for x := 0; x < in.W; x++ {
@@ -79,8 +79,8 @@ func VSlope(p *probe.Probe, in *imaging.Image) *imaging.Image {
 
 // VSurf computes surface parameters: the unit normal's z component and
 // the surface angle term for each pixel, dividing by the normal's length.
-func VSurf(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, 2*in.Bands, imaging.Float)
+func VSurf(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, 2*in.Bands, imaging.Float)
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
 			for x := 0; x < in.W; x++ {
@@ -108,8 +108,8 @@ func VSurf(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // the input's pixel values: per pixel a radial response r²/sigma² is
 // evaluated with a rational approximation of exp(-t). Distances come
 // from a small set of grid offsets, so the divisions repeat heavily.
-func VGauss(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+func VGauss(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, imaging.Float)
 	const centers = 4
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
@@ -142,8 +142,8 @@ func VGauss(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // VGpwl reconstructs the image as a two-dimensional piecewise-linear
 // surface over a coarse knot grid: per pixel two interpolation parameters
 // (small-integer offsets divided by the knot span) and bilinear blending.
-func VGpwl(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+func VGpwl(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, imaging.Float)
 	const span = 16
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
@@ -174,8 +174,8 @@ func VGpwl(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // VSqrt takes the square root of each pixel — Table 4's simplest entry
 // and the natural demonstration of the paper's sqrt-memoization future
 // work — then normalizes by the image's root maximum.
-func VSqrt(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+func VSqrt(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, imaging.Float)
 	for b := 0; b < in.Bands; b++ {
 		_, hi := in.MinMax(b)
 		rootMax := math.Sqrt(hi)
@@ -200,8 +200,8 @@ func VSqrt(p *probe.Probe, in *imaging.Image) *imaging.Image {
 // resampling: source coordinates are second-order polynomials in the
 // integer destination coordinates, and a mild projective denominator
 // exercises the divider.
-func VWarp(p *probe.Probe, in *imaging.Image) *imaging.Image {
-	out := imaging.New(in.W, in.H, in.Bands, imaging.Float)
+func VWarp(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image {
+	out := as.New(in.W, in.H, in.Bands, imaging.Float)
 	for b := 0; b < in.Bands; b++ {
 		for y := 0; y < in.H; y++ {
 			for x := 0; x < in.W; x++ {

@@ -15,7 +15,7 @@ import (
 
 func TestVSurfNormalsBounded(t *testing.T) {
 	in := testImage(24, 24)
-	out := VSurf(probe.New(), in)
+	out := VSurf(probe.New(), imaging.NewAddressSpace(), in)
 	for y := 0; y < 24; y++ {
 		for x := 0; x < 24; x++ {
 			nz := out.At(x, y, 0)
@@ -30,7 +30,7 @@ func TestVSurfNormalsBounded(t *testing.T) {
 	}
 	// A flat image has vertical normals everywhere.
 	flat := imaging.New(8, 8, 1, imaging.Byte)
-	out = VSurf(probe.New(), flat)
+	out = VSurf(probe.New(), imaging.NewAddressSpace(), flat)
 	for _, b := range []int{0} {
 		if v := out.At(4, 4, b); math.Abs(v-1) > 1e-12 {
 			t.Fatalf("flat surface normal %g, want 1", v)
@@ -40,7 +40,7 @@ func TestVSurfNormalsBounded(t *testing.T) {
 
 func TestVGaussPositiveAndBounded(t *testing.T) {
 	in := testImage(24, 24)
-	out := VGauss(probe.New(), in)
+	out := VGauss(probe.New(), imaging.NewAddressSpace(), in)
 	for _, v := range out.Pix {
 		if v <= 0 || v > 4 {
 			t.Fatalf("gaussian response %g outside (0,4]", v)
@@ -55,7 +55,7 @@ func TestVEnhanceFlatRegionsUnchanged(t *testing.T) {
 	for i := range in.Pix {
 		in.Pix[i] = 100
 	}
-	out := VEnhance(probe.New(), in)
+	out := VEnhance(probe.New(), imaging.NewAddressSpace(), in)
 	for _, v := range out.Pix {
 		if math.Abs(v-100) > 1e-9 {
 			t.Fatalf("flat region altered: %g", v)
@@ -65,7 +65,7 @@ func TestVEnhanceFlatRegionsUnchanged(t *testing.T) {
 
 func TestVKMeansCentroidsWithinRange(t *testing.T) {
 	in := testImage(24, 24)
-	out := VKMeans(probe.New(), in)
+	out := VKMeans(probe.New(), imaging.NewAddressSpace(), in)
 	lo, hi := in.MinMax(0)
 	olo, ohi := out.MinMax(0)
 	if olo < lo-1 || ohi > hi+1 {
@@ -75,7 +75,7 @@ func TestVKMeansCentroidsWithinRange(t *testing.T) {
 
 func TestVWarpStaysInValueRange(t *testing.T) {
 	in := testImage(32, 32)
-	out := VWarp(probe.New(), in)
+	out := VWarp(probe.New(), imaging.NewAddressSpace(), in)
 	lo, hi := in.MinMax(0)
 	for _, v := range out.Pix {
 		if v < lo-1e-9 || v > hi+1e-9 {
@@ -86,7 +86,7 @@ func TestVWarpStaysInValueRange(t *testing.T) {
 
 func TestVRect2PolMagnitude(t *testing.T) {
 	in := testImage(16, 16)
-	out := VRect2Pol(probe.New(), in)
+	out := VRect2Pol(probe.New(), imaging.NewAddressSpace(), in)
 	for y := 0; y < 16; y++ {
 		for x := 0; x < 16; x++ {
 			re := in.At(x, y, 0)
@@ -101,7 +101,7 @@ func TestVRect2PolMagnitude(t *testing.T) {
 
 func TestVGefBinaryOutput(t *testing.T) {
 	in := testImage(24, 24)
-	out := VGef(probe.New(), in)
+	out := VGef(probe.New(), imaging.NewAddressSpace(), in)
 	for _, v := range out.Pix {
 		if v != 0 && v != 255 {
 			t.Fatalf("edge map value %g, want 0 or 255", v)
@@ -114,7 +114,7 @@ func TestVSpatialVarianceNonNegativeOnUniform(t *testing.T) {
 	for i := range in.Pix {
 		in.Pix[i] = 64
 	}
-	out := VSpatial(probe.New(), in)
+	out := VSpatial(probe.New(), imaging.NewAddressSpace(), in)
 	for y := 0; y < 16; y++ {
 		for x := 0; x < 16; x++ {
 			if v := out.At(x, y, 1); math.Abs(v) > 1 {
@@ -132,7 +132,7 @@ func TestMultiBandProcessing(t *testing.T) {
 		b1.Pix[i] = 63 - b1.Pix[i]
 	}
 	in := imaging.Multi(b0, b1)
-	out := VSqrt(probe.New(), in)
+	out := VSqrt(probe.New(), imaging.NewAddressSpace(), in)
 	if out.Bands != 2 {
 		t.Fatalf("output bands = %d", out.Bands)
 	}
@@ -154,9 +154,12 @@ func TestAddressStreamsStayInImages(t *testing.T) {
 	// Every Load/Store address an app emits must fall inside one of the
 	// images involved (or the app's declared LUT region) — addresses feed
 	// the cache model and wild pointers would corrupt its realism.
-	in := testImage(24, 16)
 	for _, name := range []string{"vdiff", "vspatial", "vkmeans", "vgpwl"} {
 		app, _ := Lookup(name)
+		// Place the input in the capture's own space, the way the engine's
+		// capture path does; outputs allocate after it from the same space.
+		as := imaging.NewAddressSpace()
+		in := as.Clone(testImage(24, 16))
 		var bad int
 		lo := in.Base
 		hi := in.Base + uint64(len(in.Pix)*8)
@@ -176,7 +179,7 @@ func TestAddressStreamsStayInImages(t *testing.T) {
 			if a < lo {
 				bad++
 			}
-		})), in)
+		})), as, in)
 		if bad > 0 {
 			t.Errorf("%s emitted %d addresses below the image arena", name, bad)
 		}

@@ -24,8 +24,11 @@ type App struct {
 	Name string
 	Desc string
 	// Run executes the application on one input image, emitting its
-	// dynamic operations through p, and returns the output image.
-	Run func(p *probe.Probe, in *imaging.Image) *imaging.Image
+	// dynamic operations through p, and returns the output image. Every
+	// image the run allocates comes from as, the capture's private
+	// address space, so the operand trace a run emits is a pure function
+	// of the workload — independent of what else the process is running.
+	Run func(p *probe.Probe, as *imaging.AddressSpace, in *imaging.Image) *imaging.Image
 	// Inputs lists the default catalog input names (the paper ran each
 	// application on 8–14 inputs).
 	Inputs []string

@@ -22,7 +22,7 @@ func countOps(t *testing.T, app App, in *imaging.Image) *trace.Counter {
 	t.Helper()
 	var c trace.Counter
 	p := probe.New(&c)
-	out := app.Run(p, in)
+	out := app.Run(p, imaging.NewAddressSpace(), in)
 	if out == nil || out.W <= 0 || out.H <= 0 {
 		t.Fatalf("%s returned invalid output", app.Name)
 	}
@@ -118,7 +118,7 @@ func TestRegistry(t *testing.T) {
 
 func TestVSqrtValues(t *testing.T) {
 	in := testImage(16, 16)
-	out := VSqrt(probe.New(), in)
+	out := VSqrt(probe.New(), imaging.NewAddressSpace(), in)
 	_, hi := in.MinMax(0)
 	rootMax := math.Sqrt(hi)
 	for y := 0; y < 16; y++ {
@@ -136,7 +136,7 @@ func TestVDiffFlatImageIsZero(t *testing.T) {
 	for i := range in.Pix {
 		in.Pix[i] = 7
 	}
-	out := VDiff(probe.New(), in)
+	out := VDiff(probe.New(), imaging.NewAddressSpace(), in)
 	for _, v := range out.Pix {
 		if v != 0 {
 			t.Fatalf("gradient of flat image = %g", v)
@@ -146,7 +146,7 @@ func TestVDiffFlatImageIsZero(t *testing.T) {
 
 func TestVDetiltRemovesRamp(t *testing.T) {
 	in := imaging.Ramp(32, 32)
-	out := VDetilt(probe.New(), in)
+	out := VDetilt(probe.New(), imaging.NewAddressSpace(), in)
 	for _, v := range out.Pix {
 		if math.Abs(v) > 1e-9 {
 			t.Fatalf("detilt left residual %g on a perfect plane", v)
@@ -163,7 +163,7 @@ func TestVSlopeOnRamp(t *testing.T) {
 		// nonzero gradients in both directions.
 		in.Pix[i] *= 62 * 8
 	}
-	out := VSlope(probe.New(), in)
+	out := VSlope(probe.New(), imaging.NewAddressSpace(), in)
 	aspect := out.At(16, 16, 1)
 	if math.Abs(aspect-1) > 1e-9 {
 		t.Fatalf("aspect on diagonal ramp = %g, want 1", aspect)
@@ -172,7 +172,7 @@ func TestVSlopeOnRamp(t *testing.T) {
 
 func TestVKMeansQuantizesToK(t *testing.T) {
 	in := testImage(24, 24)
-	out := VKMeans(probe.New(), in)
+	out := VKMeans(probe.New(), imaging.NewAddressSpace(), in)
 	distinct := map[float64]bool{}
 	for _, v := range out.Pix {
 		distinct[v] = true
@@ -184,7 +184,7 @@ func TestVKMeansQuantizesToK(t *testing.T) {
 
 func TestVGpwlInterpolatesKnots(t *testing.T) {
 	in := testImage(33, 33)
-	out := VGpwl(probe.New(), in)
+	out := VGpwl(probe.New(), imaging.NewAddressSpace(), in)
 	// At knot positions the reconstruction equals the input.
 	for y := 0; y < 33; y += 16 {
 		for x := 0; x < 33; x += 16 {
@@ -197,7 +197,7 @@ func TestVGpwlInterpolatesKnots(t *testing.T) {
 
 func TestVEnhPatchStretchesContrast(t *testing.T) {
 	in := testImage(32, 32)
-	out := VEnhPatch(probe.New(), in)
+	out := VEnhPatch(probe.New(), imaging.NewAddressSpace(), in)
 	_, inHi := in.MinMax(0)
 	_, outHi := out.MinMax(0)
 	if outHi <= inHi {
@@ -207,7 +207,7 @@ func TestVEnhPatchStretchesContrast(t *testing.T) {
 
 func TestVBpfPreservesGeometry(t *testing.T) {
 	in := testImage(40, 24) // crops to 32x16
-	out := VBpf(probe.New(), in)
+	out := VBpf(probe.New(), imaging.NewAddressSpace(), in)
 	if out.W != 32 || out.H != 16 {
 		t.Fatalf("vbpf output %dx%d, want 32x16", out.W, out.H)
 	}
@@ -219,7 +219,7 @@ func TestVBrfRejectsBand(t *testing.T) {
 	for i := range in.Pix {
 		in.Pix[i] = 9
 	}
-	out := VBrf(probe.New(), in)
+	out := VBrf(probe.New(), imaging.NewAddressSpace(), in)
 	for _, v := range out.Pix {
 		if math.Abs(v-9) > 1e-9 {
 			t.Fatalf("DC image altered: %g", v)
@@ -229,7 +229,7 @@ func TestVBrfRejectsBand(t *testing.T) {
 
 func TestVCostMonotoneAlongRows(t *testing.T) {
 	in := testImage(24, 8)
-	out := VCost(probe.New(), in)
+	out := VCost(probe.New(), imaging.NewAddressSpace(), in)
 	for y := 0; y < 8; y++ {
 		prev := -1.0
 		for x := 0; x < 24; x++ {
@@ -246,8 +246,8 @@ func TestDeterministicRuns(t *testing.T) {
 	in := testImage(24, 16)
 	for _, name := range []string{"vspatial", "vgauss", "vkmeans"} {
 		app, _ := Lookup(name)
-		a := app.Run(probe.New(), in)
-		b := app.Run(probe.New(), in)
+		a := app.Run(probe.New(), imaging.NewAddressSpace(), in)
+		b := app.Run(probe.New(), imaging.NewAddressSpace(), in)
 		for i := range a.Pix {
 			if a.Pix[i] != b.Pix[i] {
 				t.Fatalf("%s not deterministic", name)

@@ -35,6 +35,7 @@ import (
 	"memotable/internal/probe"
 	"memotable/internal/report"
 	"memotable/internal/trace"
+	"memotable/internal/tracestore"
 )
 
 // Re-exported core types. The aliases make the internal packages' types
@@ -119,6 +120,17 @@ type CaptureFunc = engine.CaptureFunc
 // NewEngine builds an engine with the given worker count; workers <= 0
 // selects GOMAXPROCS.
 func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// TraceStore is a persistent, content-addressed store of settled operand
+// traces, shared across processes (Engine.SetStore): each workload is
+// captured once per machine rather than once per process, and later runs
+// replay its verified bytes without executing anything.
+type TraceStore = tracestore.Store
+
+// OpenTraceStore prepares dir as a persistent trace store, creating the
+// directory if needed and sweeping unsealed temp files a dead process
+// left behind.
+func OpenTraceStore(dir string) (*TraceStore, error) { return tracestore.Open(dir) }
 
 // Paper32x4 returns the paper's basic configuration: 32 entries in sets
 // of 4, full-value tags.
