@@ -8,10 +8,18 @@
 //	memosim [-scale tiny|quick|full] [-run all|table5,table6,...|figure4]
 //	        [-json] [-parallel N] [-tracedir DIR] [-store DIR]
 //	        [-timeout D] [-keep-going] [-faults SPEC]
+//	memosim -ingest trace.mtrc
 //
 // A -run selection is executed as one planned pass: every workload the
 // selected experiments demand is captured once and replayed once,
 // feeding all their measurement sinks together.
+//
+// -ingest is the offline comparator for live ingestion: it feeds a v2
+// trace file through the same incremental decode path and LiveBank
+// instruments a `tracecap -listen` session uses, and prints the same
+// final snapshot — so live-streamed results can be diffed against an
+// offline replay of the identical bytes. Exit 3 marks a corrupt or torn
+// stream, as in tracereplay.
 //
 // Exit codes: 0 on success; 1 when workloads failed and -keep-going is
 // not set (hard failure, no results printed); 2 on usage errors, and on
@@ -21,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +61,8 @@ func run() int {
 		"print partial results and exit 2 when workload cells fail, instead of aborting with exit 1")
 	faultsFlag := flag.String("faults", "",
 		"fault-injection spec (testing), e.g. 'seed=1;engine.spill.write:p=0.01'; overrides $FAULTS")
+	ingestFlag := flag.String("ingest", "",
+		"replay a v2 trace file through the live-ingest instruments and print the final snapshot (offline comparator for tracecap -listen)")
 	flag.Parse()
 
 	if *listFlag {
@@ -87,6 +98,10 @@ func run() int {
 			return 2
 		}
 		faults.Activate(plan)
+	}
+
+	if *ingestFlag != "" {
+		return runOfflineIngest(*ingestFlag)
 	}
 
 	var names []string
@@ -190,4 +205,33 @@ func run() int {
 	fmt.Printf("engine: decoded-block cache: %d entries, %.1f MiB, %d decode-once hits\n",
 		eng.DecodedEntries(), float64(eng.DecodedBlockBytes())/(1<<20), eng.DecodeOnceHits())
 	return exit
+}
+
+// runOfflineIngest feeds a v2 trace file through the identical
+// incremental path a live tracecap -listen session uses — stream
+// decoder, LiveBank sinks, fixed sketch seed — and prints the final
+// snapshot, so its stdout is byte-comparable with the live session's.
+func runOfflineIngest(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memosim:", err)
+		return 1
+	}
+	bank := memotable.NewLiveBank(1)
+	sess := memotable.NewEngine(1).NewIngest("offline", memotable.IngestOptions{Sinks: bank.Sinks()})
+	var serr error
+	if serr = sess.Feed(data); serr == nil {
+		var res memotable.IngestResult
+		if res, serr = sess.Seal(); serr == nil {
+			fmt.Println(memotable.RenderText(bank.Snapshot(res.Stats)))
+			fmt.Fprintf(os.Stderr, "memosim: replayed %d events in %d frames (%d bytes) from %s\n",
+				res.Stats.Events, res.Stats.Frames, res.Stats.Bytes, path)
+			return 0
+		}
+	}
+	fmt.Fprintln(os.Stderr, "memosim:", serr)
+	if errors.Is(serr, memotable.ErrBadTrace) {
+		return 3
+	}
+	return 1
 }

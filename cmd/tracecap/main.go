@@ -1,69 +1,127 @@
 // Command tracecap captures the operand trace of one workload to a binary
 // trace file — the role Shade's instrumented execution played for the
-// paper. The file can be replayed through arbitrary MEMO-TABLE
-// configurations with tracereplay.
+// paper — or ingests a live v2 trace stream from an external producer,
+// replaying it through MEMO-TABLE banks as the frames arrive.
 //
 // Usage:
 //
 //	tracecap -out trace.mtrc -app vspatial -input mandrill [-maxdim 128]
 //	tracecap -out trace.mtrc -kernel hydro2d [-format v2] [-compress]
+//	tracecap -listen unix:/tmp/cap.sock [-snapshot N] [-store DIR] [-seal KEY]
+//	tracecap -stdin [-snapshot N] [-store DIR] [-seal KEY]
 //
-// Format v2 frames the stream with CRC32C checksums so corruption is
-// detected on replay; -compress additionally DEFLATE-compresses each
-// frame. tracereplay reads either format.
+// Capture mode writes a trace file. Format v2 frames the stream with
+// CRC32C checksums so corruption is detected on replay; -compress
+// additionally DEFLATE-compresses each frame. tracereplay reads either
+// format.
 //
-// Exit codes: 0 on success, 1 when writing the trace fails, 2 on usage
-// errors (including unknown applications, kernels or inputs).
+// Ingest mode (-listen or -stdin) accepts a self-delimiting CRC-framed
+// v2 stream — from one connection on a unix or TCP socket, or from
+// standard input — and feeds each complete frame through live
+// MEMO-TABLE banks and cycle models as it arrives. -snapshot N prints a
+// rolling hit-ratio/speedup snapshot every N events; the final snapshot
+// always prints on stdout. With -store DIR, a stream that ends at a
+// clean frame boundary is sealed into the persistent trace store under
+// the -seal fingerprint, so the live session becomes a warm cache entry
+// for later memosim/tracereplay runs. -listen addresses take the forms
+// "unix:/path", "tcp:host:port", or a bare filesystem path (unix).
+//
+// Exit codes: 0 on success, 1 on I/O failure (including a failed
+// listen/accept), 2 on usage errors, 3 when the ingested stream is
+// corrupt or torn.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"strings"
 
 	"memotable"
+	"memotable/internal/faults"
 	"memotable/internal/imaging"
 	"memotable/internal/scientific"
 	"memotable/internal/workloads"
 )
 
-func main() {
-	out := flag.String("out", "", "output trace file (required)")
+func main() { os.Exit(run()) }
+
+func run() int {
+	out := flag.String("out", "", "output trace file (capture mode)")
 	app := flag.String("app", "", "Multi-Media application to trace")
 	input := flag.String("input", "mandrill", "catalog input image for -app")
 	kernel := flag.String("kernel", "", "scientific kernel to trace")
 	maxDim := flag.Int("maxdim", 128, "decimate the input to this many pixels per side")
 	format := flag.String("format", "v1", "trace format to write: v1, or v2 (CRC-framed)")
 	compress := flag.Bool("compress", false, "DEFLATE-compress v2 frames (requires -format v2)")
+	listen := flag.String("listen", "", "ingest a live v2 stream from one connection on this address (unix:/path, tcp:host:port, or a bare unix socket path)")
+	stdinMode := flag.Bool("stdin", false, "ingest a live v2 stream from standard input")
+	snapshot := flag.Uint64("snapshot", 0, "ingest mode: print a rolling snapshot every N events (0 = final only)")
+	storeDir := flag.String("store", "", "ingest mode: seal the settled stream into this persistent trace store")
+	sealKey := flag.String("seal", "live", "ingest mode: workload fingerprint the sealed stream is stored under")
+	faultsFlag := flag.String("faults", "", "fault-injection spec (testing), e.g. 'seed=1;ingest.frame:p=0.01'; overrides $FAULTS")
 	flag.Parse()
 
+	spec := *faultsFlag
+	if spec == "" {
+		spec = os.Getenv("FAULTS")
+	}
+	if spec != "" {
+		plan, err := faults.Parse(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecap:", err)
+			return 2
+		}
+		faults.Activate(plan)
+	}
+
+	ingesting := *listen != "" || *stdinMode
+	if ingesting {
+		if *listen != "" && *stdinMode {
+			fmt.Fprintln(os.Stderr, "tracecap: -listen and -stdin are mutually exclusive")
+			return 2
+		}
+		if *out != "" || *app != "" || *kernel != "" {
+			fmt.Fprintln(os.Stderr, "tracecap: ingest mode takes no capture flags (-out/-app/-kernel)")
+			return 2
+		}
+		if *sealKey == "" {
+			fmt.Fprintln(os.Stderr, "tracecap: -seal fingerprint must not be empty")
+			return 2
+		}
+		return runIngest(*listen, *snapshot, *storeDir, *sealKey)
+	}
+
 	if *out == "" || (*app == "") == (*kernel == "") {
-		fmt.Fprintln(os.Stderr, "tracecap: need -out and exactly one of -app/-kernel")
+		fmt.Fprintln(os.Stderr, "tracecap: need -out and exactly one of -app/-kernel (or -listen/-stdin)")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if *format != "v1" && *format != "v2" {
 		fmt.Fprintf(os.Stderr, "tracecap: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
 	if *compress && *format != "v2" {
 		fmt.Fprintln(os.Stderr, "tracecap: -compress requires -format v2")
-		os.Exit(2)
+		return 2
 	}
 
-	var run func(*memotable.Probe)
+	var runWorkload func(*memotable.Probe)
 	switch {
 	case *app != "":
 		a, err := workloads.Lookup(*app)
 		if err != nil {
-			usage(err)
+			return usage(err)
 		}
 		in := imaging.Find(*input)
 		if in == nil {
-			usage(fmt.Errorf("unknown input %q", *input))
+			return usage(fmt.Errorf("unknown input %q", *input))
 		}
 		src := in.Image
-		run = func(p *memotable.Probe) {
+		runWorkload = func(p *memotable.Probe) {
 			// Mirror the engine's capture path: decimate the input into a
 			// private address space as the run's first allocation, so the
 			// trace captured here is byte-identical to the engine's.
@@ -73,39 +131,144 @@ func main() {
 	default:
 		k, err := scientific.Lookup(*kernel)
 		if err != nil {
-			usage(err)
+			return usage(err)
 		}
-		run = k.Run
+		runWorkload = k.Run
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	var n uint64
 	if *format == "v2" {
-		n, err = memotable.CaptureV2(f, *compress, run)
+		n, err = memotable.CaptureV2(f, *compress, runWorkload)
 	} else {
-		n, err = memotable.Capture(f, run)
+		n, err = memotable.Capture(f, runWorkload)
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		fail(err)
+		return fail(err)
 	}
 	fmt.Printf("captured %d events to %s\n", n, *out)
+	return 0
+}
+
+// runIngest drives one live ingest session from a socket or stdin:
+// frames replay into a LiveBank as they arrive, rolling snapshots print
+// per -snapshot, and a cleanly ended stream seals into the trace store.
+func runIngest(addr string, snapshotEvery uint64, storeDir, sealKey string) int {
+	src, cleanup, err := ingestSource(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecap:", err)
+		return 1
+	}
+	defer cleanup()
+
+	eng := memotable.NewEngine(1)
+	if storeDir != "" {
+		st, err := memotable.OpenTraceStore(storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecap:", err)
+			return 1
+		}
+		eng.SetStore(st)
+	}
+
+	// Fixed sketch seed: live and offline (memosim -ingest) snapshots of
+	// the same stream must render byte-identically.
+	bank := memotable.NewLiveBank(1)
+	sess := eng.NewIngest(sealKey, memotable.IngestOptions{
+		Sinks:         bank.Sinks(),
+		SnapshotEvery: snapshotEvery,
+		OnSnapshot: func(st memotable.IngestStats) {
+			fmt.Println(memotable.RenderText(bank.Snapshot(st)))
+		},
+	})
+
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if ferr := sess.Feed(buf[:n]); ferr != nil {
+				return ingestFail(ferr)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "tracecap:", rerr)
+			return 1
+		}
+	}
+	res, err := sess.Seal()
+	if err != nil {
+		return ingestFail(err)
+	}
+	fmt.Println(memotable.RenderText(bank.Snapshot(res.Stats)))
+	fmt.Fprintf(os.Stderr, "tracecap: ingested %d events in %d frames (%d bytes)\n",
+		res.Stats.Events, res.Stats.Frames, res.Stats.Bytes)
+	if storeDir != "" {
+		if res.Published {
+			fmt.Fprintf(os.Stderr, "tracecap: sealed stream stored under %q in %s\n", sealKey, storeDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "tracecap: stream not stored (retain overflow or store failure)")
+		}
+	}
+	return 0
+}
+
+// ingestSource resolves the ingest input: stdin for an empty address,
+// else one accepted connection on the parsed listen address.
+func ingestSource(addr string) (io.Reader, func(), error) {
+	if addr == "" {
+		return os.Stdin, func() {}, nil
+	}
+	network, target := "unix", addr
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		target = addr[len("unix:"):]
+	case strings.HasPrefix(addr, "tcp:"):
+		network, target = "tcp", addr[len("tcp:"):]
+	}
+	ln, err := net.Listen(network, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "tracecap: listening on %s\n", ln.Addr())
+	conn, err := ln.Accept()
+	if err != nil {
+		_ = ln.Close()
+		return nil, nil, err
+	}
+	return conn, func() {
+		_ = conn.Close()
+		_ = ln.Close()
+	}, nil
+}
+
+// ingestFail classifies a broken session: corrupt or torn streams exit
+// 3 (tracereplay's corrupt-trace code), everything else exits 1.
+func ingestFail(err error) int {
+	fmt.Fprintln(os.Stderr, "tracecap:", err)
+	if errors.Is(err, memotable.ErrBadTrace) {
+		return 3
+	}
+	return 1
 }
 
 // fail reports a write/capture failure: exit 1.
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "tracecap:", err)
-	os.Exit(1)
+	return 1
 }
 
 // usage reports a bad selection (unknown app, kernel or input): exit 2,
 // like the flag-validation errors above.
-func usage(err error) {
+func usage(err error) int {
 	fmt.Fprintln(os.Stderr, "tracecap:", err)
-	os.Exit(2)
+	return 2
 }

@@ -143,6 +143,11 @@ type Engine struct {
 	degradedCap atomic.Uint64 // captures degraded to direct re-execution by persistent spill failure
 	storeHits   atomic.Uint64 // entries settled from the persistent store instead of capturing
 	storePuts   atomic.Uint64 // fresh captures published to the persistent store
+
+	// Live-ingest counters (ingest.go).
+	ingestFrames  atomic.Uint64 // frames delivered by ingest sessions
+	ingestEvents  atomic.Uint64 // events delivered by ingest sessions
+	sealedIngests atomic.Uint64 // ingest sessions sealed cleanly
 }
 
 // New builds an engine with the given worker count (<= 0 selects
@@ -883,7 +888,7 @@ func (e *Engine) captureOnce(ent *traceEntry, capture CaptureFunc) (captureOutco
 			arm.discard()
 			return captureFailed, cerr
 		}
-		err = tw.Flush()
+		err = tw.Close()
 	}
 
 	if err == nil && arm.mem {

@@ -68,6 +68,18 @@ const (
 	// the block path, once per stream on the byte paths. Panic mode
 	// simulates a panicking measurement sink.
 	SinkEmit = "engine.sink.emit"
+	// IngestFeed fires on each chunk of bytes fed into a live ingest
+	// session. Error mode fails the feed, aborting the session as a
+	// dropped connection would.
+	IngestFeed = "ingest.feed"
+	// IngestFrame fires when a complete, checksum-verified streamed frame
+	// is about to be delivered to the ingest session's sinks.
+	IngestFrame = "ingest.frame"
+	// IngestSeal fires when a settled ingest session is about to be
+	// sealed — adopted into the trace cache and published to the
+	// persistent store. Error mode fails the seal; the session's replay
+	// stays valid but nothing is persisted.
+	IngestSeal = "ingest.seal"
 	// StoreRead fires before a persistent trace-store entry is opened
 	// and verified. Error mode makes the lookup a miss.
 	StoreRead = "store.read"
@@ -83,6 +95,7 @@ func Points() []string {
 	pts := []string{
 		CaptureRun, SpillCreate, SpillWrite, SpillRename, SpillRead,
 		FrameCRC, BlockDecode, SinkEmit,
+		IngestFeed, IngestFrame, IngestSeal,
 		StoreRead, StoreWrite, StoreRename,
 	}
 	sort.Strings(pts)

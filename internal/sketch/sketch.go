@@ -1,0 +1,278 @@
+// Package sketch holds the bounded-memory stream summaries the live
+// ingest path falls back on when exact accounting would outgrow its byte
+// budget: a count-min sketch for operand-pair reuse counts and a
+// reservoir sample of operand pairs, composed into an estimator for the
+// stream's reuse ratio — the fraction of operations whose operand pair
+// has appeared before, which is the hit ratio an unbounded MEMO-TABLE
+// would achieve on the stream.
+//
+// The estimator is the classical combination the streaming literature
+// suggests for distribution-driven operand traffic: sample events
+// uniformly with a reservoir, look up each sampled pair's total
+// frequency f in the count-min sketch, and estimate the distinct-pair
+// count as D = N/|S| * Σ 1/f (an event picked uniformly from the stream
+// lands on a pair with f occurrences with probability f/N, so E[1/f] =
+// D/N). The reuse ratio is then 1 - D/N. A Σ1/f estimator is brutally
+// sensitive to over-counting rare pairs — the raw count-min minimum
+// inflates an f=1 pair by the full per-row collision mass and can halve
+// D — so the sketch uses conservative updates and the estimator reads
+// collision-corrected counts (see CorrectedCount); the reservoir
+// contributes zero-mean sampling noise of order 1/sqrt(|S|). The
+// combined error is pinned by an error-bound test against exact
+// counting across stream shapes.
+//
+// Everything is deterministic: hashing is seeded splitmix-style mixing,
+// and the reservoir draws from its own seeded generator, so two ingests
+// of the same stream report identical estimates.
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer used for sketch row hashing and the reservoir's PRNG.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Key3 folds an (op, a, b) operand triple into one sketch key. Engine
+// and experiment code share it so their sketches agree on identity.
+func Key3(op uint8, a, b uint64) uint64 {
+	return mix64(mix64(a^0x9e3779b97f4a7c15*uint64(op+1)) ^ mix64(b+0xd1b54a32d192ed03))
+}
+
+// CountMin is a count-min sketch: depth rows of width counters; Add
+// increments one counter per row, Count takes the minimum. Estimates
+// never under-count; they over-count by the row's collision mass.
+type CountMin struct {
+	width, depth int
+	n            uint64   // total Adds
+	rowSum       []uint64 // per-row counter mass, the collision-noise denominator
+	rows         [][]uint64
+	seeds        []uint64
+	idx          []uint64 // per-Add scratch for the conservative update
+}
+
+// NewCountMin builds a sketch of the given geometry. Width and depth
+// must be positive; width is the error knob (ε ≈ e/width of the stream
+// length), depth the confidence knob.
+func NewCountMin(width, depth int, seed uint64) *CountMin {
+	if width <= 0 || depth <= 0 {
+		panic("sketch: count-min geometry must be positive")
+	}
+	c := &CountMin{width: width, depth: depth}
+	c.rows = make([][]uint64, depth)
+	c.seeds = make([]uint64, depth)
+	c.rowSum = make([]uint64, depth)
+	c.idx = make([]uint64, depth)
+	for i := range c.rows {
+		c.rows[i] = make([]uint64, width)
+		c.seeds[i] = mix64(seed + uint64(i)*0x9e3779b97f4a7c15 + 1)
+	}
+	return c
+}
+
+// Add records one occurrence of key, with the conservative-update rule:
+// only counters equal to the key's current minimum estimate grow, so a
+// collision inflates a counter only when it is the binding one. This
+// keeps the no-under-count guarantee while shrinking collision noise by
+// roughly the depth.
+func (c *CountMin) Add(key uint64) {
+	c.n++
+	min := uint64(math.MaxUint64)
+	for i, row := range c.rows {
+		c.idx[i] = mix64(key^c.seeds[i]) % uint64(c.width)
+		if n := row[c.idx[i]]; n < min {
+			min = n
+		}
+	}
+	for i, row := range c.rows {
+		if row[c.idx[i]] == min {
+			row[c.idx[i]]++
+			c.rowSum[i]++
+		}
+	}
+}
+
+// Count returns the (never under-counting) frequency estimate for key.
+func (c *CountMin) Count(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for i, row := range c.rows {
+		if n := row[mix64(key^c.seeds[i])%uint64(c.width)]; n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// CorrectedCount returns a nearly unbiased frequency estimate for a key
+// known to be present (the count-mean-min estimator): each row's counter
+// minus that row's expected collision mass (n-counter)/(width-1), the
+// median across rows, clamped to [1, Count(key)]. The plain min estimate
+// never under-counts but inflates rare keys by the full collision mass,
+// which a Σ1/f distinct estimator cannot tolerate; subtracting the
+// expected mass removes that bias while the clamp keeps the estimate
+// inside the sketch's hard bounds.
+func (c *CountMin) CorrectedCount(key uint64) float64 {
+	vals := make([]float64, 0, 8)
+	min := uint64(math.MaxUint64)
+	for i, row := range c.rows {
+		counter := row[mix64(key^c.seeds[i])%uint64(c.width)]
+		if counter < min {
+			min = counter
+		}
+		noise := float64(c.rowSum[i]-counter) / float64(c.width-1)
+		vals = append(vals, float64(counter)-noise)
+	}
+	est := median(vals)
+	if est < 1 {
+		est = 1
+	}
+	if fmin := float64(min); est > fmin {
+		est = fmin
+	}
+	return est
+}
+
+// median returns the middle of vals (mean of the central pair for even
+// lengths), permuting vals in place.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}
+
+// Bytes returns the sketch's counter memory.
+func (c *CountMin) Bytes() int { return c.width * c.depth * 8 }
+
+// Reservoir keeps a uniform sample of k keys from a stream of unknown
+// length (Vitter's algorithm R), drawing from a seeded splitmix
+// generator so the sample is a pure function of (seed, stream).
+type Reservoir struct {
+	k      int
+	n      uint64
+	sample []uint64
+	state  uint64
+}
+
+// NewReservoir builds a reservoir holding at most k sampled keys.
+func NewReservoir(k int, seed uint64) *Reservoir {
+	if k <= 0 {
+		panic("sketch: reservoir size must be positive")
+	}
+	return &Reservoir{k: k, sample: make([]uint64, 0, k), state: mix64(seed ^ 0x5851f42d4c957f2d)}
+}
+
+// next advances the reservoir's PRNG.
+func (r *Reservoir) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Observe offers one stream element to the sample. The i-th element
+// survives with probability k/i; modulo bias is negligible against the
+// estimator's sampling noise.
+func (r *Reservoir) Observe(key uint64) {
+	r.n++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, key)
+		return
+	}
+	if j := r.next() % r.n; j < uint64(r.k) {
+		r.sample[j] = key
+	}
+}
+
+// Len returns the current sample size; Seen the stream length observed.
+func (r *Reservoir) Len() int { return len(r.sample) }
+
+// Seen returns the number of elements observed.
+func (r *Reservoir) Seen() uint64 { return r.n }
+
+// Sample exposes the sampled keys (read-only; the estimator iterates it).
+func (r *Reservoir) Sample() []uint64 { return r.sample }
+
+// ReuseEstimator estimates a stream's distinct-pair count and reuse
+// ratio in bounded memory: every key feeds the count-min sketch, a
+// reservoir keeps a uniform event sample, and the two combine into
+// D = N/|S| * Σ_{s∈S} 1/f(s).
+type ReuseEstimator struct {
+	cm  *CountMin
+	res *Reservoir
+	n   uint64
+}
+
+// Default estimator geometry: 64Ki counters × 4 rows (2 MiB) bounds the
+// per-row collision mass at e/65536 of the stream, and 4096 samples put
+// the reservoir's noise near 1/sqrt(4096) ≈ 1.6%.
+const (
+	DefaultWidth   = 64 << 10
+	DefaultDepth   = 4
+	DefaultSamples = 4096
+)
+
+// NewReuseEstimator builds an estimator with the given count-min
+// geometry and reservoir size.
+func NewReuseEstimator(width, depth, samples int, seed uint64) *ReuseEstimator {
+	return &ReuseEstimator{
+		cm:  NewCountMin(width, depth, seed),
+		res: NewReservoir(samples, seed+0x6a09e667f3bcc909),
+	}
+}
+
+// NewDefaultReuseEstimator builds an estimator with the default
+// geometry, seeded deterministically.
+func NewDefaultReuseEstimator(seed uint64) *ReuseEstimator {
+	return NewReuseEstimator(DefaultWidth, DefaultDepth, DefaultSamples, seed)
+}
+
+// Observe records one stream element.
+func (e *ReuseEstimator) Observe(key uint64) {
+	e.n++
+	e.cm.Add(key)
+	e.res.Observe(key)
+}
+
+// Events returns the number of elements observed.
+func (e *ReuseEstimator) Events() uint64 { return e.n }
+
+// Bytes returns the estimator's memory footprint — constant in the
+// stream length, which is the whole point.
+func (e *ReuseEstimator) Bytes() int { return e.cm.Bytes() + cap(e.res.sample)*8 }
+
+// Distinct estimates the number of distinct keys observed.
+func (e *ReuseEstimator) Distinct() float64 {
+	s := e.res.Sample()
+	if len(s) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, key := range s {
+		inv += 1 / e.cm.CorrectedCount(key)
+	}
+	return float64(e.n) * inv / float64(len(s))
+}
+
+// ReuseRatio estimates the fraction of observations whose key had
+// appeared before — the hit ratio of an unbounded memo table over the
+// stream. NaN before any observation.
+func (e *ReuseEstimator) ReuseRatio() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	r := 1 - e.Distinct()/float64(e.n)
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,177 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCountMinNeverUndercounts(t *testing.T) {
+	cm := NewCountMin(1024, 4, 7)
+	exact := make(map[uint64]uint64)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		key := uint64(rng.Intn(5000))
+		cm.Add(key)
+		exact[key]++
+	}
+	for key, want := range exact {
+		if got := cm.Count(key); got < want {
+			t.Fatalf("key %d: count-min %d under-counts exact %d", key, got, want)
+		}
+	}
+	if cm.Count(0xdeadbeefdeadbeef) > 1000 {
+		t.Fatalf("absent heavy key estimate implausibly large: %d", cm.Count(0xdeadbeefdeadbeef))
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Sample 1k of a 100k-element stream of keys 0..9; each key should
+	// hold close to a tenth of the sample.
+	r := NewReservoir(1000, 42)
+	for i := 0; i < 100000; i++ {
+		r.Observe(uint64(i % 10))
+	}
+	if r.Seen() != 100000 || r.Len() != 1000 {
+		t.Fatalf("seen=%d len=%d", r.Seen(), r.Len())
+	}
+	counts := make(map[uint64]int)
+	for _, k := range r.Sample() {
+		counts[k]++
+	}
+	for k := uint64(0); k < 10; k++ {
+		if counts[k] < 50 || counts[k] > 150 {
+			t.Fatalf("key %d holds %d of 1000 samples, want ≈100", k, counts[k])
+		}
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewReservoir(64, 9), NewReservoir(64, 9)
+	for i := 0; i < 10000; i++ {
+		key := mix64(uint64(i))
+		a.Observe(key)
+		b.Observe(key)
+	}
+	for i, k := range a.Sample() {
+		if b.Sample()[i] != k {
+			t.Fatalf("same-seed reservoirs diverged at %d", i)
+		}
+	}
+}
+
+// The headline bound: the sketch estimate of the reuse ratio must land
+// within 5 percentage points of the exact value computed with unbounded
+// memory, across stream shapes from almost-all-distinct to heavily
+// repetitive, across seeds. (The satellite differential against a real
+// replayed trace lives in internal/experiments.)
+func TestReuseRatioErrorBound(t *testing.T) {
+	const tolerance = 0.05
+	streams := []struct {
+		name string
+		gen  func(rng *rand.Rand, n int) []uint64
+	}{
+		{"mostly distinct", func(rng *rand.Rand, n int) []uint64 {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = rng.Uint64() // collisions ≈ 0: reuse ≈ 0
+			}
+			return keys
+		}},
+		{"small key space", func(rng *rand.Rand, n int) []uint64 {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = uint64(rng.Intn(2000)) // reuse ≈ 1 - 2000/n
+			}
+			return keys
+		}},
+		{"zipf", func(rng *rand.Rand, n int) []uint64 {
+			z := rand.NewZipf(rng, 1.2, 1, 1<<20)
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = z.Uint64()
+			}
+			return keys
+		}},
+		{"half and half", func(rng *rand.Rand, n int) []uint64 {
+			keys := make([]uint64, n)
+			for i := range keys {
+				if i%2 == 0 {
+					keys[i] = rng.Uint64()
+				} else {
+					keys[i] = uint64(rng.Intn(100))
+				}
+			}
+			return keys
+		}},
+	}
+	for _, st := range streams {
+		for seed := int64(1); seed <= 3; seed++ {
+			keys := st.gen(rand.New(rand.NewSource(seed)), 200000)
+			est := NewDefaultReuseEstimator(uint64(seed))
+			distinct := make(map[uint64]bool, len(keys))
+			for _, k := range keys {
+				est.Observe(k)
+				distinct[k] = true
+			}
+			exact := 1 - float64(len(distinct))/float64(len(keys))
+			got := est.ReuseRatio()
+			if math.IsNaN(got) {
+				t.Fatalf("%s seed %d: estimate is NaN", st.name, seed)
+			}
+			if diff := math.Abs(got - exact); diff > tolerance {
+				t.Errorf("%s seed %d: sketch reuse %.4f vs exact %.4f (|err| %.4f > %.2f)",
+					st.name, seed, got, exact, diff, tolerance)
+			}
+		}
+	}
+}
+
+func TestReuseRatioEdgeCases(t *testing.T) {
+	est := NewDefaultReuseEstimator(1)
+	if !math.IsNaN(est.ReuseRatio()) {
+		t.Fatalf("empty estimator reuse = %v, want NaN", est.ReuseRatio())
+	}
+	est.Observe(7)
+	if r := est.ReuseRatio(); r != 0 {
+		t.Fatalf("single observation reuse = %v, want 0", r)
+	}
+	for i := 0; i < 9999; i++ {
+		est.Observe(7)
+	}
+	if r := est.ReuseRatio(); r < 0.99 {
+		t.Fatalf("constant stream reuse = %v, want ≈ .9999", r)
+	}
+	if est.Bytes() <= 0 || est.Bytes() > 4<<20 {
+		t.Fatalf("estimator footprint %d bytes out of expected range", est.Bytes())
+	}
+}
+
+func TestEstimatorDeterministic(t *testing.T) {
+	a, b := NewDefaultReuseEstimator(3), NewDefaultReuseEstimator(3)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(10000))
+		a.Observe(k)
+		b.Observe(k)
+	}
+	if a.ReuseRatio() != b.ReuseRatio() {
+		t.Fatalf("same-seed estimators disagree: %v vs %v", a.ReuseRatio(), b.ReuseRatio())
+	}
+}
+
+func TestKey3Distinguishes(t *testing.T) {
+	// Operand order, op class, and operand values must all separate keys.
+	pairs := [][3]uint64{{1, 2, 3}, {2, 2, 3}, {1, 3, 2}, {1, 2, 4}, {3, 2, 3}}
+	seen := make(map[uint64]bool)
+	for _, p := range pairs {
+		k := Key3(uint8(p[0]), p[1], p[2])
+		if seen[k] {
+			t.Fatalf("collision for %v", p)
+		}
+		seen[k] = true
+	}
+	if Key3(1, 2, 3) != Key3(1, 2, 3) {
+		t.Fatalf("Key3 not deterministic")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -73,8 +74,21 @@ const (
 // castagnoli is the CRC32C table used by every frame checksum.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrWriterClosed reports an Emit on a WriterV2 whose stream was already
+// sealed by Close. The event is dropped and the error latches, so the
+// loss is loud: the next Flush, Close or Err call surfaces it.
+var ErrWriterClosed = errors.New("trace: emit on closed writer")
+
 // WriterV2 encodes events in trace format v2. Like Writer it implements
 // Sink, defers write errors to Flush, and counts emitted events.
+//
+// The writer is re-armable: Flush is a mid-stream checkpoint that seals
+// the open frame and leaves the writer usable, so a live producer can
+// push every buffered event onto the wire and keep emitting — each Emit
+// after a Flush simply opens the next frame. The stream ends with Close,
+// which seals the final frame and latches the writer; an Emit after
+// Close is an error (surfaced by the next Flush/Close/Err call) rather
+// than a silently lost frame.
 type WriterV2 struct {
 	w           io.Writer
 	frame       bytes.Buffer // raw event bytes of the open frame
@@ -85,6 +99,7 @@ type WriterV2 struct {
 	frameEvents uint32
 	count       uint64
 	err         error
+	closed      bool
 }
 
 // NewWriterV2 starts a v2 trace stream on w, writing the header
@@ -93,22 +108,30 @@ type WriterV2 struct {
 // records it for the reader.
 func NewWriterV2(w io.Writer, compress bool) (*WriterV2, error) {
 	var flags byte
+	var comp *flate.Writer
 	if compress {
 		flags |= flagFlate
+		var err error
+		if comp, err = flate.NewWriter(io.Discard, flate.BestSpeed); err != nil {
+			return nil, fmt.Errorf("trace: deflate init: %w", err)
+		}
 	}
 	hdr := []byte{magic[0], magic[1], magic[2], magic[3], formatVersionV2, flags}
 	if _, err := w.Write(hdr); err != nil {
 		return nil, err
 	}
-	wr := &WriterV2{w: w}
-	if compress {
-		wr.comp, _ = flate.NewWriter(io.Discard, flate.BestSpeed)
-	}
-	return wr, nil
+	return &WriterV2{w: w, comp: comp}, nil
 }
 
 // Emit implements Sink. Encoding and write errors are deferred to Flush.
+// Emitting on a closed writer drops the event and latches ErrWriterClosed.
 func (w *WriterV2) Emit(ev Event) {
+	if w.closed {
+		if w.err == nil {
+			w.err = ErrWriterClosed
+		}
+		return
+	}
 	if w.err != nil {
 		return
 	}
@@ -127,8 +150,11 @@ func (w *WriterV2) Emit(ev Event) {
 // Count returns the number of events emitted.
 func (w *WriterV2) Count() uint64 { return w.count }
 
-// Flush seals the open frame and surfaces any deferred error. The stream
-// is complete — readable to the last event — once Flush returns nil.
+// Flush seals the open frame, pushing every emitted event onto the wire,
+// and surfaces any deferred error. It is a checkpoint, not an end: the
+// writer stays armed, and a later Emit opens the next frame. The bytes
+// written so far always form a readable prefix of the stream; the stream
+// is complete once Close returns nil.
 func (w *WriterV2) Flush() error {
 	if w.err != nil {
 		return w.err
@@ -138,6 +164,19 @@ func (w *WriterV2) Flush() error {
 	}
 	return w.err
 }
+
+// Close seals the stream: the open frame is flushed and the writer
+// latches, so any further Emit is an error instead of a silently dropped
+// frame. Close is idempotent and returns the writer's first error.
+func (w *WriterV2) Close() error {
+	err := w.Flush()
+	w.closed = true
+	return err
+}
+
+// Err returns the writer's latched error: a deferred write failure, or
+// ErrWriterClosed after an Emit on a closed writer.
+func (w *WriterV2) Err() error { return w.err }
 
 // flushFrame seals the open frame and writes it to the underlying writer
 // as a single Write call, so downstream writers (the engine's spill

@@ -232,3 +232,116 @@ func TestV2ReaderCountMatchesReplay(t *testing.T) {
 		t.Fatalf("decoded %d, reader count %d", n, r.Count())
 	}
 }
+
+// The writer lifecycle contract: Flush is a re-arming mid-stream
+// checkpoint — events emitted after it open a new frame that the next
+// Flush or Close seals — and Close latches the writer so a late Emit is a
+// loud error, not a silently lost frame.
+func TestV2WriterReArmsAfterFlush(t *testing.T) {
+	events := randomEvents(500, 11)
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, false)
+	if err != nil {
+		t.Fatalf("NewWriterV2: %v", err)
+	}
+	// Interleave Emits with mid-stream Flushes, including a double Flush
+	// (second one finds no open frame) — the live-ingest producer pattern.
+	for i, ev := range events {
+		w.Emit(ev)
+		if i%97 == 0 {
+			if err := w.Flush(); err != nil {
+				t.Fatalf("mid-stream Flush at %d: %v", i, err)
+			}
+			if i%194 == 0 {
+				if err := w.Flush(); err != nil {
+					t.Fatalf("double Flush at %d: %v", i, err)
+				}
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(events))
+	}
+	got := decodeAll(t, buf.Bytes())
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d: events emitted after a Flush were lost", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestV2WriterEmitAfterCloseLatches(t *testing.T) {
+	events := randomEvents(10, 12)
+	var buf bytes.Buffer
+	w, err := NewWriterV2(&buf, false)
+	if err != nil {
+		t.Fatalf("NewWriterV2: %v", err)
+	}
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close is not idempotent: %v", err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	w.Emit(events[0])
+	if !errors.Is(w.Err(), ErrWriterClosed) {
+		t.Fatalf("Err after post-Close Emit = %v, want ErrWriterClosed", w.Err())
+	}
+	if !errors.Is(w.Close(), ErrWriterClosed) {
+		t.Fatalf("Close after post-Close Emit should surface ErrWriterClosed")
+	}
+	if w.Count() != uint64(len(events)) {
+		t.Fatalf("Count = %d after rejected Emit, want %d", w.Count(), len(events))
+	}
+	if !bytes.Equal(buf.Bytes(), wire) {
+		t.Fatalf("post-Close Emit changed the wire bytes")
+	}
+	// The sealed stream still decodes cleanly to exactly the pre-Close
+	// events.
+	if got := decodeAll(t, buf.Bytes()); len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+}
+
+// A mid-stream Flush must leave the wire a readable prefix: every event
+// emitted before the Flush is decodable from the bytes written so far.
+func TestV2FlushedPrefixIsReadable(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		events := randomEvents(3000, 13)
+		var buf bytes.Buffer
+		w, err := NewWriterV2(&buf, compress)
+		if err != nil {
+			t.Fatalf("NewWriterV2: %v", err)
+		}
+		for _, ev := range events[:1700] {
+			w.Emit(ev)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		prefix := append([]byte(nil), buf.Bytes()...)
+		if got := decodeAll(t, prefix); len(got) != 1700 {
+			t.Fatalf("compress=%v: flushed prefix decodes %d events, want 1700", compress, len(got))
+		}
+		for _, ev := range events[1700:] {
+			w.Emit(ev)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if got := decodeAll(t, buf.Bytes()); len(got) != len(events) {
+			t.Fatalf("compress=%v: full stream decodes %d events, want %d", compress, len(got), len(events))
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"memotable/internal/faults"
+	"memotable/internal/isa"
+)
+
+// Incremental decoding of a v2 trace stream that is still being
+// produced. The pull Reader treats a torn tail as corruption — correct
+// for a file that claims to be complete, wrong for a live socket where
+// the missing bytes are simply still in flight. StreamDecoder separates
+// the two: bytes are pushed in as they arrive (Feed), complete frames
+// come out as they become decodable (NextFrame), and an incomplete tail
+// reads as ErrStreamOpen ("more bytes pending") until CloseInput
+// declares the input finished — after which the same tail is a torn
+// stream, ErrBadTrace, exactly as the Reader would report it.
+//
+// Because every v2 frame is self-delimiting and carries its own CRC32C,
+// the decoder never guesses: a frame is either not yet complete (wait),
+// complete and valid (deliver), or complete and damaged (fail). Only v2
+// streams are accepted — a v1 stream has no framing, so an incremental
+// consumer could not distinguish its torn tail from a clean end.
+
+// ErrStreamOpen reports that the buffered bytes end mid-frame while the
+// input is still open: not corruption, just a frame whose remaining
+// bytes have not arrived yet. Feed more bytes (or CloseInput) and call
+// NextFrame again.
+var ErrStreamOpen = errors.New("trace: stream still open, frame incomplete")
+
+// streamHeaderLen is the stream preamble: magic, version, flags.
+const streamHeaderLen = 6
+
+// StreamDecoder decodes a v2 trace stream incrementally from pushed
+// byte chunks. The zero value is not usable; construct with
+// NewStreamDecoder. It is not safe for concurrent use.
+type StreamDecoder struct {
+	buf        []byte // fed, not-yet-consumed bytes (pos-prefix consumed)
+	pos        int
+	headerDone bool
+	compressed bool
+	sealed     bool
+
+	frames  uint64
+	events  uint64
+	bytesIn int64
+
+	evbuf []Event // decoded events of the last delivered frame, reused
+	raw   []byte  // decompression scratch, reused
+}
+
+// NewStreamDecoder prepares an empty decoder; the stream header is
+// parsed from the first fed bytes.
+func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
+
+// Feed appends arriving bytes. The decoder copies p, so the caller may
+// reuse its buffer immediately.
+func (d *StreamDecoder) Feed(p []byte) {
+	if d.pos > 0 {
+		// Compact the consumed prefix before growing the buffer, so a
+		// long-lived session holds at most one frame of backlog plus the
+		// unread tail.
+		d.buf = append(d.buf[:0], d.buf[d.pos:]...)
+		d.pos = 0
+	}
+	d.buf = append(d.buf, p...)
+	d.bytesIn += int64(len(p))
+}
+
+// CloseInput declares that no more bytes will arrive. From here on an
+// incomplete tail decodes as a torn stream (ErrBadTrace) and a clean
+// frame boundary as io.EOF.
+func (d *StreamDecoder) CloseInput() { d.sealed = true }
+
+// Frames returns the number of complete frames delivered so far.
+func (d *StreamDecoder) Frames() uint64 { return d.frames }
+
+// Events returns the number of events delivered so far.
+func (d *StreamDecoder) Events() uint64 { return d.events }
+
+// BytesIn returns the total bytes fed so far.
+func (d *StreamDecoder) BytesIn() int64 { return d.bytesIn }
+
+// Buffered returns the fed bytes not yet consumed by a delivered frame —
+// the torn tail, while the stream is open.
+func (d *StreamDecoder) Buffered() int { return len(d.buf) - d.pos }
+
+// incomplete classifies a tail that stops mid-structure: still-open
+// streams wait for more bytes, sealed streams are torn.
+func (d *StreamDecoder) incomplete(what string) error {
+	if d.sealed {
+		return fmt.Errorf("%w: torn %s", ErrBadTrace, what)
+	}
+	return fmt.Errorf("%w: need more bytes for %s", ErrStreamOpen, what)
+}
+
+// NextFrame decodes the next complete frame and returns its events, in
+// stream order. The returned slice is reused by the next call, so the
+// caller must consume (or copy) it first. Errors:
+//
+//   - ErrStreamOpen: the buffered bytes end mid-header or mid-frame and
+//     the input is still open — feed more and retry;
+//   - io.EOF: CloseInput was called and the stream ends at a clean frame
+//     boundary (the whole stream was delivered);
+//   - ErrBadTrace: real corruption — bad magic or version, a complete
+//     frame failing its checksum or event decode, or a tail left torn by
+//     CloseInput.
+func (d *StreamDecoder) NextFrame() ([]Event, error) {
+	if !d.headerDone {
+		if err := d.parseHeader(); err != nil {
+			return nil, err
+		}
+	}
+	avail := d.buf[d.pos:]
+	if len(avail) == 0 {
+		if d.sealed {
+			return nil, io.EOF
+		}
+		return nil, d.incomplete("frame header")
+	}
+	if len(avail) < frameHeaderLen {
+		return nil, d.incomplete("frame header")
+	}
+	rawLen := binary.LittleEndian.Uint32(avail[0:])
+	storedLen := binary.LittleEndian.Uint32(avail[4:])
+	events := binary.LittleEndian.Uint32(avail[8:])
+	crc := binary.LittleEndian.Uint32(avail[12:])
+	// The header is complete, so its self-consistency is decidable now
+	// even if the payload is still in flight.
+	if err := checkFrameHeader(rawLen, storedLen, events, d.compressed); err != nil {
+		return nil, err
+	}
+	if len(avail) < frameHeaderLen+int(storedLen) {
+		return nil, d.incomplete("frame payload")
+	}
+	stored := avail[frameHeaderLen : frameHeaderLen+int(storedLen)]
+	got := crc32.Update(0, castagnoli, avail[:12])
+	got = crc32.Update(got, castagnoli, stored)
+	if got != crc {
+		return nil, fmt.Errorf("%w: frame CRC %08x, computed %08x", ErrBadTrace, crc, got)
+	}
+	if ferr := faults.Inject(faults.FrameCRC); ferr != nil {
+		return nil, fmt.Errorf("%w: frame CRC rejected: %v", ErrBadTrace, ferr)
+	}
+	raw := stored
+	if d.compressed {
+		if cap(d.raw) < int(rawLen) {
+			d.raw = make([]byte, rawLen)
+		}
+		d.raw = d.raw[:rawLen]
+		fr := flate.NewReader(bytes.NewReader(stored))
+		if _, err := io.ReadFull(fr, d.raw); err != nil {
+			return nil, fmt.Errorf("%w: frame decompression: %v", ErrBadTrace, err)
+		}
+		var tail [1]byte
+		if n, _ := fr.Read(tail[:]); n != 0 {
+			return nil, fmt.Errorf("%w: frame inflates past declared size %d", ErrBadTrace, rawLen)
+		}
+		raw = d.raw
+	}
+	evs, err := d.decodeFrame(raw, events)
+	if err != nil {
+		return nil, err
+	}
+	d.pos += frameHeaderLen + int(storedLen)
+	d.frames++
+	d.events += uint64(len(evs))
+	return evs, nil
+}
+
+// parseHeader consumes the 6-byte stream preamble once enough bytes are
+// buffered, rejecting anything but an uncorrupted v2 header.
+func (d *StreamDecoder) parseHeader() error {
+	avail := d.buf[d.pos:]
+	if len(avail) < streamHeaderLen {
+		return d.incomplete("stream header")
+	}
+	if [4]byte(avail[:4]) != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrBadTrace, avail[:4])
+	}
+	switch avail[4] {
+	case formatVersionV2:
+		// The only streamable generation.
+	case formatVersion:
+		return fmt.Errorf("%w: v1 streams are not self-delimiting; stream ingest requires v2", ErrBadTrace)
+	default:
+		return fmt.Errorf("%w: unsupported version %d", ErrBadTrace, avail[4])
+	}
+	flags := avail[5]
+	if flags&^byte(flagFlate) != 0 {
+		return fmt.Errorf("%w: unknown flags %#02x", ErrBadTrace, flags)
+	}
+	d.compressed = flags&flagFlate != 0
+	d.pos += streamHeaderLen
+	d.headerDone = true
+	return nil
+}
+
+// decodeFrame decodes exactly the declared events from a verified frame
+// payload into the reused event buffer. A payload that under-delivers,
+// over-delivers, or carries an undecodable event is corrupt.
+func (d *StreamDecoder) decodeFrame(raw []byte, events uint32) ([]Event, error) {
+	if cap(d.evbuf) < int(events) {
+		d.evbuf = make([]Event, 0, events)
+	}
+	dst := d.evbuf[:0]
+	pos := 0
+	for i := uint32(0); i < events; i++ {
+		if pos >= len(raw) {
+			return nil, fmt.Errorf("%w: frame under-delivers its declared events", ErrBadTrace)
+		}
+		opByte := raw[pos]
+		if opByte >= byte(isa.NumOps) {
+			return nil, fmt.Errorf("%w: op byte %d", ErrBadTrace, opByte)
+		}
+		a, n := binary.Uvarint(raw[pos+1:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: operand A varint", ErrBadTrace)
+		}
+		pos += 1 + n
+		b, n := binary.Uvarint(raw[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: operand B varint", ErrBadTrace)
+		}
+		pos += n
+		dst = append(dst, Event{Op: isa.Op(opByte), A: a, B: b})
+	}
+	if pos != len(raw) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in frame", ErrBadTrace, len(raw)-pos)
+	}
+	d.evbuf = dst
+	return dst, nil
+}

@@ -121,6 +121,37 @@ type CaptureFunc = engine.CaptureFunc
 // selects GOMAXPROCS.
 func NewEngine(workers int) *Engine { return engine.New(workers) }
 
+// IngestSession is a live trace ingestion session (Engine.NewIngest):
+// an external producer pushes encoded v2 stream bytes as it generates
+// them, complete frames replay incrementally into the session's sinks,
+// and sealing settles the stream into the engine cache and the
+// persistent trace store as if it had been captured locally.
+type IngestSession = engine.IngestSession
+
+// IngestOptions configures a live ingest session.
+type IngestOptions = engine.IngestOptions
+
+// IngestStats is a point-in-time view of an ingest session's progress.
+type IngestStats = engine.IngestStats
+
+// IngestResult reports what sealing an ingest session settled.
+type IngestResult = engine.IngestResult
+
+// ErrIngestBroken marks an ingest session that failed — corrupt frame,
+// injected fault, torn tail at seal — and accepts no more bytes.
+var ErrIngestBroken = engine.ErrIngestBroken
+
+// LiveBank bundles the rolling instruments of a live ingest session —
+// MEMO-TABLE banks, baseline and memo-enhanced cycle models, and a
+// bounded-memory reuse-ratio sketch — behind one sink fan-out with
+// typed report snapshots.
+type LiveBank = experiments.LiveBank
+
+// NewLiveBank builds a live bank with the paper's study defaults (the
+// fast-FP machine, 32x4 tables, trivial operations excluded), seeding
+// the sketch estimator deterministically.
+func NewLiveBank(seed uint64) *LiveBank { return experiments.NewDefaultLiveBank(seed) }
+
 // TraceStore is a persistent, content-addressed store of settled operand
 // traces, shared across processes (Engine.SetStore): each workload is
 // captured once per machine rather than once per process, and later runs
@@ -175,7 +206,7 @@ func CaptureV2(w io.Writer, compress bool, run func(*Probe)) (uint64, error) {
 		return 0, err
 	}
 	run(probe.New(tw))
-	if err := tw.Flush(); err != nil {
+	if err := tw.Close(); err != nil {
 		return tw.Count(), err
 	}
 	return tw.Count(), nil
