@@ -6,8 +6,9 @@
 //
 //	memosim -list
 //	memosim [-scale tiny|quick|full] [-run all|table5,table6,...|figure4]
-//	        [-json] [-parallel N] [-tracedir DIR] [-store DIR]
+//	        [-json] [-parallel N] [-fanout N] [-tracedir DIR] [-store DIR]
 //	        [-timeout D] [-keep-going] [-faults SPEC]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //	memosim -ingest trace.mtrc
 //
 // A -run selection is executed as one planned pass: every workload the
@@ -34,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,7 +66,44 @@ func run() int {
 		"fault-injection spec (testing), e.g. 'seed=1;engine.spill.write:p=0.01'; overrides $FAULTS")
 	ingestFlag := flag.String("ingest", "",
 		"replay a v2 trace file through the live-ingest instruments and print the final snapshot (offline comparator for tracecap -listen)")
+	fanoutFlag := flag.Int("fanout", 0,
+		"fan-out replay budget: delivery goroutines shared by all concurrently replaying cells; 0 matches the worker count, 1 forces serial delivery")
+	cpuProfileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfileFlag := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Profiling brackets the whole run, so replay hot paths can be
+	// inspected without a rebuild: memosim -cpuprofile cpu.pprof, then
+	// go tool pprof -top cpu.pprof.
+	if *cpuProfileFlag != "" {
+		f, err := os.Create(*cpuProfileFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memosim:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memosim:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memProfileFlag != "" {
+		defer func() {
+			f, err := os.Create(*memProfileFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memosim:", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memosim:", err)
+			}
+			_ = f.Close()
+		}()
+	}
 
 	if *listFlag {
 		for _, e := range memotable.AllExperiments() {
@@ -118,6 +158,9 @@ func run() int {
 	// bit-identical at any worker count. Over-budget captures spill to
 	// -tracedir rather than being re-executed on every replay.
 	eng := memotable.NewEngine(*parallelFlag)
+	if *fanoutFlag > 0 {
+		eng.SetFanOut(*fanoutFlag)
+	}
 	if *traceDirFlag != "" {
 		eng.SetTraceDir(*traceDirFlag)
 	}
@@ -204,6 +247,10 @@ func run() int {
 		float64(evs)/elapsed.Seconds()/1e6)
 	fmt.Printf("engine: decoded-block cache: %d entries, %.1f MiB, %d decode-once hits\n",
 		eng.DecodedEntries(), float64(eng.DecodedBlockBytes())/(1<<20), eng.DecodeOnceHits())
+	fmt.Printf("engine: fan-out: %d workers, %d fan-out replays, %d ring stalls; %d per-sink events delivered (%.1fM events/sec), %d mask skips\n",
+		eng.FanOut(), eng.FanoutReplays(), eng.RingStalls(),
+		eng.DeliveredEvents(), float64(eng.DeliveredEvents())/elapsed.Seconds()/1e6,
+		eng.MaskSkips())
 	return exit
 }
 

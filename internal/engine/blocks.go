@@ -176,13 +176,14 @@ func decodeBlocks(snap entrySnapshot) ([]traceBlock, error) {
 }
 
 // emitBlocks feeds every block to every sink whose class mask intersects
-// the block's, in block order — the single fused pass ReplayAll makes
-// over a decoded stream. It returns the total event count of the stream.
+// the block's, in block order — the serial fused pass over a decoded
+// stream, and the reference the fan-out path (fanout.go) must match
+// byte-for-byte. It returns the total event count of the stream.
 // Cancellation is checked between blocks (one atomic-ish Err probe per
 // 8192 events); a cancellation or an injected sink.emit fault observed
 // mid-stream returns with the sinks partially fed, so callers must
 // treat the cell as failed.
-func emitBlocks(ctx context.Context, blocks []traceBlock, sinks []trace.Sink, masks []trace.OpMask) (uint64, error) {
+func (e *Engine) emitBlocks(ctx context.Context, blocks []traceBlock, sinks []trace.Sink, masks []trace.OpMask) (uint64, error) {
 	var n uint64
 	for i := range blocks {
 		if ctx.Err() != nil {
@@ -193,11 +194,15 @@ func emitBlocks(ctx context.Context, blocks []traceBlock, sinks []trace.Sink, ma
 		}
 		b := &blocks[i]
 		n += uint64(len(b.events))
+		fed := 0
 		for j, s := range sinks {
 			if masks[j]&b.mask != 0 {
 				trace.EmitAll(s, b.events)
+				fed++
 			}
 		}
+		e.deliveredEv.Add(uint64(fed) * uint64(len(b.events)))
+		e.maskSkips.Add(uint64(len(sinks) - fed))
 	}
 	return n, nil
 }

@@ -129,6 +129,11 @@ type Engine struct {
 	traces     map[string]*traceEntry
 	tstore     *tracestore.Store // persistent cross-process store (nil: disabled)
 
+	// Fan-out replay budget (fanout.go): tokens for delivery goroutines
+	// shared by all concurrently replaying cells and ingest sessions.
+	fanWorkers int // SetFanOut; <= 1 disables fan-out
+	fanInUse   int // tokens currently held by live pipelines
+
 	// Failure-model knobs (errors.go): transient spill I/O retries.
 	retryAttempts int
 	retryBase     time.Duration
@@ -143,6 +148,13 @@ type Engine struct {
 	degradedCap atomic.Uint64 // captures degraded to direct re-execution by persistent spill failure
 	storeHits   atomic.Uint64 // entries settled from the persistent store instead of capturing
 	storePuts   atomic.Uint64 // fresh captures published to the persistent store
+
+	// Fan-out counters (fanout.go). deliveredEv and maskSkips are
+	// written from consumer goroutines, so they must stay atomic.
+	fanReplays  atomic.Uint64 // fused replays delivered through the fan-out pipeline
+	ringStalls  atomic.Uint64 // block publishes that waited for the slowest consumer
+	deliveredEv atomic.Uint64 // events delivered per sink (blocks + ingest frames)
+	maskSkips   atomic.Uint64 // (sink, block) deliveries skipped by class mask
 
 	// Live-ingest counters (ingest.go).
 	ingestFrames  atomic.Uint64 // frames delivered by ingest sessions
@@ -160,6 +172,7 @@ func New(workers int) *Engine {
 		workers:       workers,
 		cacheLimit:    DefaultCacheBytes,
 		blockCache:    true,
+		fanWorkers:    workers,
 		traces:        make(map[string]*traceEntry),
 		retryAttempts: defaultRetryAttempts,
 		retryBase:     defaultRetryBase,
@@ -499,7 +512,10 @@ func (e *Engine) ReplayAll(key string, capture CaptureFunc, sinks []trace.Sink) 
 // later replays of the key — fused or not — walk the blocks read-only;
 // blocks whose events all fall outside a sink's advertised class mask
 // skip that sink entirely. Every sink observes the exact event sequence
-// a serial Replay would deliver it.
+// a serial Replay would deliver it. When the engine's fan-out budget
+// allows (SetFanOut), block delivery itself is parallelized across
+// consumer goroutines — see fanout.go; per-sink results are identical
+// either way.
 //
 // Cancellation is checked before the capture boundary and between
 // decoded blocks during replay; a cancellation observed mid-stream
@@ -546,7 +562,7 @@ func (e *Engine) ReplayAllContext(ctx context.Context, key string, capture Captu
 				return 0, fmt.Errorf("engine: cached trace %q: %w", key, err)
 			}
 			if blocks != nil {
-				n, err := emitBlocks(ctx, blocks, sinks, trace.SinkMasks(sinks))
+				n, err := e.deliverBlocks(ctx, blocks, sinks)
 				if err != nil {
 					return n, fmt.Errorf("engine: cached trace %q: %w", key, err)
 				}
@@ -587,7 +603,7 @@ func (e *Engine) ReplayAllContext(ctx context.Context, key string, capture Captu
 				continue
 			}
 			if blocks != nil {
-				n, err := emitBlocks(ctx, blocks, sinks, trace.SinkMasks(sinks))
+				n, err := e.deliverBlocks(ctx, blocks, sinks)
 				if err != nil {
 					return n, fmt.Errorf("engine: spilled trace %q: %w", key, err)
 				}

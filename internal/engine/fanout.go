@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"memotable/internal/faults"
+	"memotable/internal/trace"
+)
+
+// Fan-out replay. Since the decoded-block tier made fused replay
+// single-decode, all M sinks of a workload have been fed serially from
+// one goroutine — the last serial stage of the pipeline, and the one
+// that keeps warm-store matrix wall-clock flat across worker counts.
+// This file parallelizes it: the replaying goroutine (the producer)
+// walks the immutable blocks and broadcasts each one through a bounded
+// trace.Ring to consumer goroutines, each owning a disjoint subset of
+// the sinks. Every consumer sees every block in trace order, so each
+// sink still observes the exact event sequence a serial pass would
+// deliver it — per-sink results are byte-identical by construction.
+//
+// Budget. Fan-out consumers draw from one engine-wide account of
+// SetFanOut(n) tokens (defaulting to the worker-pool size), debited
+// non-blocking: a replay that cannot get at least two tokens — because
+// concurrently replaying cells hold them — runs serially on its own
+// goroutine, exactly as before. Cell-level parallelism (Map's pool) and
+// sink-level parallelism therefore share one budget instead of
+// multiplying: an 8-worker engine runs at most 8 extra delivery
+// goroutines across all in-flight replays, however the planner overlaps
+// them, and a single busy cell can soak up the whole account while the
+// pool is otherwise idle.
+//
+// Failure. A consumer panic (a broken measurement sink, an injected
+// replay.fanout.consume fault) is recovered on the consumer, latched
+// into the ring wrapping ErrSinkPanic, and surfaces from the producer's
+// replay like any mid-stream delivery failure: the sinks are partially
+// fed and the caller must treat the cell as failed — the same contract,
+// and the same CellError classification, as the serial path.
+
+// fanRingDepth is the block capacity of a fan-out ring: a few 8192-event
+// blocks of slack absorbs scheduling jitter between producer and
+// consumers without letting a fast producer run far ahead of the
+// slowest sink.
+const fanRingDepth = 8
+
+// fanGroup is one consumer's worth of a fan-out: sinks co-scheduled on
+// one goroutine, with their pre-snapshotted class masks.
+type fanGroup struct {
+	sinks []trace.Sink
+	masks []trace.OpMask
+}
+
+// fanoutGroups partitions a fused replay's sinks into independently
+// deliverable groups, preserving each sink's occurrence order:
+//
+//   - occurrences of the same comparable sink value share a group (a
+//     sink subscribed through two demands is owed both deliveries, in
+//     order, from one goroutine);
+//   - sinks advertising the same non-empty trace.FanoutGrouper key share
+//     a group (planner affinity hints);
+//   - everything else gets a group of its own.
+//
+// A non-comparable sink value defeats identity grouping, so its presence
+// makes the whole split unsafe: fanoutGroups returns nil and the caller
+// stays serial.
+func fanoutGroups(sinks []trace.Sink, masks []trace.OpMask) []fanGroup {
+	for _, s := range sinks {
+		if s == nil || !reflect.TypeOf(s).Comparable() {
+			return nil
+		}
+	}
+	byIdent := make(map[trace.Sink]int, len(sinks))
+	var byKey map[string]int
+	var groups []fanGroup
+	for i, s := range sinks {
+		gi, ok := byIdent[s]
+		if !ok {
+			if fg, isHinted := s.(trace.FanoutGrouper); isHinted {
+				if key := fg.FanoutGroup(); key != "" {
+					if byKey == nil {
+						byKey = make(map[string]int)
+					}
+					if kg, known := byKey[key]; known {
+						gi, ok = kg, true
+					} else {
+						byKey[key] = len(groups)
+					}
+				}
+			}
+			if !ok {
+				gi = len(groups)
+				groups = append(groups, fanGroup{})
+			}
+			byIdent[s] = gi
+		}
+		groups[gi].sinks = append(groups[gi].sinks, s)
+		groups[gi].masks = append(groups[gi].masks, masks[i])
+	}
+	return groups
+}
+
+// SetFanOut sets the engine-wide fan-out budget: the maximum number of
+// delivery goroutines live across all concurrently replaying cells and
+// ingest sessions. n <= 1 disables fan-out (every replay delivers
+// serially, the reference path). New defaults the budget to the worker
+// count, so Serial() engines — and the goldens pinned to them — are
+// fan-out-free without further ceremony.
+func (e *Engine) SetFanOut(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fanWorkers = n
+}
+
+// FanOut returns the fan-out budget (see SetFanOut).
+func (e *Engine) FanOut() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fanWorkers
+}
+
+// acquireFanTokens debits up to want tokens from the fan-out account
+// without blocking and returns how many it got. Waiting here could
+// deadlock the worker pool (every worker parked waiting for tokens held
+// by the others), so a short account degrades to serial delivery, never
+// to a stall.
+func (e *Engine) acquireFanTokens(want int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	free := e.fanWorkers - e.fanInUse
+	if want > free {
+		want = free
+	}
+	if want < 0 {
+		want = 0
+	}
+	e.fanInUse += want
+	return want
+}
+
+// releaseFanTokens returns tokens to the fan-out account.
+func (e *Engine) releaseFanTokens(n int) {
+	e.mu.Lock()
+	e.fanInUse -= n
+	e.mu.Unlock()
+}
+
+// sinkFanout is one live fan-out pipeline: a ring plus its consumer
+// goroutines, holding tokens until closed. Both block replays
+// (replayFanOut) and live ingest sessions (IngestSession.deliver) drive
+// one of these; only the producer side differs.
+type sinkFanout struct {
+	e      *Engine
+	ring   *trace.Ring
+	wg     sync.WaitGroup
+	tokens int
+	closed bool
+}
+
+// newSinkFanout builds a pipeline for the given fan-out, or returns nil
+// when fan-out cannot help: fewer than two sinks, the budget disabled or
+// exhausted, or sinks that collapse into fewer than two groups. The
+// caller then delivers serially. On success the consumers are already
+// running and the caller owns the pipeline: it must call close exactly
+// once (abort first on failure).
+func (e *Engine) newSinkFanout(sinks []trace.Sink, masks []trace.OpMask) *sinkFanout {
+	if len(sinks) < 2 {
+		return nil
+	}
+	e.mu.Lock()
+	enabled := e.fanWorkers > 1
+	e.mu.Unlock()
+	if !enabled {
+		return nil
+	}
+	groups := fanoutGroups(sinks, masks)
+	if len(groups) < 2 {
+		return nil
+	}
+	n := e.acquireFanTokens(len(groups))
+	if n < 2 {
+		e.releaseFanTokens(n)
+		return nil
+	}
+	f := &sinkFanout{e: e, ring: trace.NewRing(fanRingDepth, n), tokens: n}
+	for c := 0; c < n; c++ {
+		// Round-robin group assignment; ascending group order within a
+		// consumer keeps co-grouped occurrences in their original
+		// relative order.
+		var gs []fanGroup
+		for gi := c; gi < len(groups); gi += n {
+			gs = append(gs, groups[gi])
+		}
+		f.wg.Add(1)
+		go f.consume(c, gs)
+	}
+	return f
+}
+
+// consume is one fan-out consumer: it walks the ring in publication
+// order and feeds each block to its groups' sinks, honoring the same
+// per-sink mask skip as the serial loop. A panic anywhere below — a
+// sink, an injected fault — aborts the ring wrapping ErrSinkPanic, so
+// the producer's replay fails the way a panicking sink fails a serial
+// replay.
+func (f *sinkFanout) consume(c int, groups []fanGroup) {
+	defer f.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			f.ring.Abort(fmt.Errorf("%w: %w", ErrSinkPanic, panicError(r)))
+		}
+	}()
+	for {
+		b, ok, err := f.ring.Next(c)
+		if !ok || err != nil {
+			return
+		}
+		if ferr := faults.Inject(faults.FanoutConsume); ferr != nil {
+			f.ring.Abort(fmt.Errorf("fan-out delivery: %w", ferr))
+			return
+		}
+		fed, skipped := 0, 0
+		for gi := range groups {
+			g := &groups[gi]
+			for j, s := range g.sinks {
+				if g.masks[j]&b.Mask != 0 {
+					trace.EmitAll(s, b.Events)
+					fed++
+				} else {
+					skipped++
+				}
+			}
+		}
+		f.e.deliveredEv.Add(uint64(fed) * uint64(len(b.Events)))
+		f.e.maskSkips.Add(uint64(skipped))
+	}
+}
+
+// publish broadcasts one block, returning the latched error if a
+// consumer has aborted.
+func (f *sinkFanout) publish(b trace.Block) error { return f.ring.Publish(b) }
+
+// flush blocks until every consumer has fully processed everything
+// published so far — the barrier ingest needs before the stream decoder
+// reuses its frame buffer.
+func (f *sinkFanout) flush() error { return f.ring.Flush() }
+
+// abort latches err into the ring, waking producer and consumers.
+func (f *sinkFanout) abort(err error) { f.ring.Abort(err) }
+
+// close ends the stream, waits for the consumers, folds the ring's
+// stall count into the engine, releases the tokens, and returns the
+// latched error (nil for a clean run). Idempotent.
+func (f *sinkFanout) close() error {
+	if f.closed {
+		return f.ring.Err()
+	}
+	f.closed = true
+	f.ring.Close()
+	f.wg.Wait()
+	f.e.ringStalls.Add(f.ring.Stalls())
+	f.e.releaseFanTokens(f.tokens)
+	return f.ring.Err()
+}
+
+// errProducerUnwound marks a fan-out whose producer panicked out of the
+// publish loop (an injected panic, a bug): the consumers are told to
+// stop before the panic resumes unwinding toward replayGuarded.
+var errProducerUnwound = errors.New("engine: fan-out producer unwound")
+
+// replayFanOut delivers decoded blocks through a fan-out pipeline.
+// handled reports whether fan-out ran at all: false means the caller
+// should deliver serially (fan-out disabled, budget exhausted, or the
+// sinks don't split), and nothing has been emitted. When handled, the
+// per-sink event sequences are byte-identical to emitBlocks's; n counts
+// the stream's events once, exactly as the serial path does, and an
+// error means the sinks were partially fed.
+func (e *Engine) replayFanOut(ctx context.Context, blocks []traceBlock, sinks []trace.Sink, masks []trace.OpMask) (n uint64, handled bool, err error) {
+	f := e.newSinkFanout(sinks, masks)
+	if f == nil {
+		return 0, false, nil
+	}
+	settled := false
+	defer func() {
+		if !settled { // a panic is unwinding through the publish loop
+			f.abort(errProducerUnwound)
+			_ = f.close()
+		}
+	}()
+	var aborted error
+	for i := range blocks {
+		if ctx.Err() != nil {
+			aborted = ctxErr(ctx)
+			break
+		}
+		// The sink.emit point fires here with the serial path's cadence
+		// (once per block), so existing fault plans behave identically
+		// whether or not a replay went through the fan-out.
+		if ferr := faults.Inject(faults.SinkEmit); ferr != nil {
+			aborted = fmt.Errorf("replay delivery: %w", ferr)
+			break
+		}
+		if ferr := faults.Inject(faults.FanoutPublish); ferr != nil {
+			aborted = fmt.Errorf("fan-out publish: %w", ferr)
+			break
+		}
+		b := &blocks[i]
+		if perr := f.publish(trace.Block{Events: b.events, Mask: b.mask}); perr != nil {
+			break // a consumer aborted; its error surfaces from close
+		}
+		n += uint64(len(b.events))
+	}
+	if aborted != nil {
+		f.abort(aborted)
+	}
+	err = f.close()
+	settled = true
+	if err == nil {
+		e.fanReplays.Add(1)
+	}
+	return n, true, err
+}
+
+// deliverBlocks is the block path's delivery dispatch: fan-out when the
+// pipeline can be built, the serial loop otherwise. Per-sink results are
+// identical either way.
+func (e *Engine) deliverBlocks(ctx context.Context, blocks []traceBlock, sinks []trace.Sink) (uint64, error) {
+	masks := trace.SinkMasks(sinks)
+	if n, handled, err := e.replayFanOut(ctx, blocks, sinks, masks); handled {
+		return n, err
+	}
+	return e.emitBlocks(ctx, blocks, sinks, masks)
+}
+
+// FanoutReplays returns how many fused replays delivered through the
+// fan-out pipeline (serial fallbacks are not counted).
+func (e *Engine) FanoutReplays() uint64 { return e.fanReplays.Load() }
+
+// RingStalls returns how many fan-out block publishes had to wait for
+// the slowest consumer — sustained stalls mean one sink is the
+// bottleneck and more fan-out workers won't help.
+func (e *Engine) RingStalls() uint64 { return e.ringStalls.Load() }
+
+// DeliveredEvents returns the per-sink delivered event total: every
+// event counted once per sink that consumed it, across block replays
+// (serial and fan-out) and ingest frame delivery. This is the fan-out's
+// throughput numerator — ReplayedEvents counts each stream once,
+// DeliveredEvents counts the work of feeding it to M sinks.
+func (e *Engine) DeliveredEvents() uint64 { return e.deliveredEv.Load() }
+
+// MaskSkips returns how many (sink, block) deliveries were skipped
+// because the sink's class mask missed every event in the block.
+func (e *Engine) MaskSkips() uint64 { return e.maskSkips.Load() }

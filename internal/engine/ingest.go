@@ -93,6 +93,13 @@ type IngestSession struct {
 	masks []trace.OpMask
 	opts  IngestOptions
 
+	// Fan-out delivery (fanout.go): built lazily on the first frame when
+	// the engine's budget allows, torn down at Seal or on failure. While
+	// live, frames are broadcast to the pipe's consumers and flushed
+	// before the decoder may reuse its frame buffer.
+	pipe      *sinkFanout
+	pipeTried bool
+
 	raw      []byte // retained stream bytes, nil after overflow
 	overflow bool
 	nextSnap uint64
@@ -131,12 +138,29 @@ func (s *IngestSession) Stats() IngestStats {
 // Err returns the session's latched failure, nil while healthy.
 func (s *IngestSession) Err() error { return s.err }
 
-// fail latches the session's first failure and returns it wrapped.
+// fail latches the session's first failure and returns it wrapped. A
+// live fan-out pipeline is torn down first, so a broken session never
+// strands consumer goroutines or fan-out tokens.
 func (s *IngestSession) fail(err error) error {
+	if s.pipe != nil {
+		s.pipe.abort(fmt.Errorf("%w: %w", ErrIngestBroken, err))
+		s.teardownPipe()
+	}
 	if s.err == nil {
 		s.err = fmt.Errorf("%w: %w", ErrIngestBroken, err)
 	}
 	return s.err
+}
+
+// teardownPipe closes the fan-out pipeline, returning its latched error
+// (nil after a clean life). Safe to call with no pipe.
+func (s *IngestSession) teardownPipe() error {
+	if s.pipe == nil {
+		return nil
+	}
+	err := s.pipe.close()
+	s.pipe = nil
+	return err
 }
 
 // Feed pushes arriving stream bytes and delivers every frame they
@@ -194,7 +218,12 @@ func (s *IngestSession) drain() error {
 
 // deliver fans one decoded frame out to the sinks, skipping sinks whose
 // class mask misses every event in the frame — the per-frame analogue of
-// emitBlocks's per-block masking.
+// emitBlocks's per-block masking. When the engine's fan-out budget
+// allows, delivery goes through the same pipeline a block replay uses:
+// the frame is broadcast to per-sink-group consumers and flushed before
+// returning, because the stream decoder reuses the frame buffer on the
+// next decode — and because OnSnapshot's contract ("after the crossing
+// frame has been delivered") requires the sinks settled.
 func (s *IngestSession) deliver(evs []trace.Event) error {
 	if ferr := faults.Inject(faults.IngestFrame); ferr != nil {
 		return s.fail(fmt.Errorf("frame delivery: %w", ferr))
@@ -203,10 +232,28 @@ func (s *IngestSession) deliver(evs []trace.Event) error {
 	for i := range evs {
 		mask |= 1 << evs[i].Op
 	}
-	for i, sink := range s.fan {
-		if s.masks[i]&mask != 0 {
-			trace.EmitAll(sink, evs)
+	if !s.pipeTried {
+		s.pipeTried = true
+		s.pipe = s.e.newSinkFanout(s.fan, s.masks)
+	}
+	if s.pipe != nil {
+		err := s.pipe.publish(trace.Block{Events: evs, Mask: mask})
+		if err == nil {
+			err = s.pipe.flush()
 		}
+		if err != nil {
+			return s.fail(fmt.Errorf("frame delivery: %w", err))
+		}
+	} else {
+		fed := 0
+		for i, sink := range s.fan {
+			if s.masks[i]&mask != 0 {
+				trace.EmitAll(sink, evs)
+				fed++
+			}
+		}
+		s.e.deliveredEv.Add(uint64(fed) * uint64(len(evs)))
+		s.e.maskSkips.Add(uint64(len(s.fan) - fed))
 	}
 	s.e.ingestFrames.Add(1)
 	s.e.ingestEvents.Add(uint64(len(evs)))
@@ -235,6 +282,13 @@ func (s *IngestSession) Seal() (IngestResult, error) {
 	// torn/corrupt tail — ErrStreamOpen can no longer occur.
 	if err := s.drain(); err != nil {
 		return IngestResult{Stats: s.Stats()}, err
+	}
+	// Every frame was flushed through the pipeline as it was delivered,
+	// so this teardown is a formality — but a consumer abort racing the
+	// final flush would surface here, and the sinks must be settled
+	// before the stream is adopted as a warm entry.
+	if err := s.teardownPipe(); err != nil {
+		return IngestResult{Stats: s.Stats()}, s.fail(fmt.Errorf("frame delivery: %w", err))
 	}
 	res := IngestResult{Stats: s.Stats(), Retained: !s.overflow}
 	if ferr := faults.Inject(faults.IngestSeal); ferr != nil {

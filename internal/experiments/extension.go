@@ -165,8 +165,16 @@ func planRecip(ctx *Context) ([]Demand, func() *RecipResult) {
 			memoSet: NewTableSet(memo.Paper32x4(), memo.NonTrivialOnly),
 			rc:      memo.NewRecipCache(memo.Paper32x4()),
 		}
+		// Fan-out affinity hint: the reciprocal cache sees divisions
+		// only, so it skips most blocks — co-schedule it with its paired
+		// memo set instead of letting it occupy a fan-out worker of its
+		// own when this demand is fused with heavier experiments.
+		group := "recip|" + name
 		demands[i] = Demand{
-			Sinks:     []trace.Sink{ss[i].memoSet, recipSink{ss[i].rc}},
+			Sinks: []trace.Sink{
+				trace.Grouped(group, ss[i].memoSet),
+				trace.Grouped(group, recipSink{ss[i].rc}),
+			},
 			Workloads: ctx.AppWorkloads(app),
 		}
 	}

@@ -25,8 +25,18 @@ type Table struct {
 	idxBits uint
 	ways    int
 	sets    [][]entry // MRU-first within each set
-	inf     map[tagKey]stored
-	stats   Stats
+	// hint[s] is the way where set s's last-hit entry now sits — the
+	// way-memoization fast path (Ishihara & Fallah): probe it with a
+	// single compare before the associative scan. MRU reordering pins a
+	// fresh hit at way 0 (where the scan starts anyway), so the hint
+	// earns its keep after inserts shift the last-hit entry deeper; it
+	// is tracked across those shifts and cleared when the entry is
+	// evicted or shadowed. 0 means "no useful hint". nil when ways == 1
+	// or in infinite mode, where no scan exists to shortcut.
+	hint   []uint16
+	noHint bool // ablation switch for the before/after benchmark
+	inf    map[tagKey]stored
+	stats  Stats
 }
 
 type tagKey struct{ a, b uint64 }
@@ -62,6 +72,9 @@ func New(op isa.Op, cfg Config) *Table {
 	for i := range t.sets {
 		t.sets[i], backing = backing[:t.ways], backing[t.ways:]
 	}
+	if t.ways > 1 {
+		t.hint = make([]uint16, t.numSets)
+	}
 	return t
 }
 
@@ -85,6 +98,9 @@ func (t *Table) Reset() {
 		for i := range set {
 			set[i] = entry{}
 		}
+	}
+	for i := range t.hint {
+		t.hint[i] = 0
 	}
 }
 
@@ -202,13 +218,29 @@ func (t *Table) probeOne(key tagKey) (stored, bool) {
 		st, ok := t.inf[key]
 		return st, ok
 	}
-	set := t.sets[t.index(key)]
+	si := t.index(key)
+	set := t.sets[si]
 	if t.ways == 1 {
 		// Direct-mapped: single compare, no recency state to maintain.
 		if set[0].valid && set[0].tag == key {
 			return set[0].stored, true
 		}
 		return stored{}, false
+	}
+	if h := int(t.hint[si]); h > 0 && !t.noHint {
+		// Way-memoization fast path: the set's last-hit entry is known to
+		// sit at way h (insert tracks it through shifts and clears the
+		// hint on eviction or shadowing), so one compare resolves a
+		// repeat hit without scanning ways 0..h-1. The hint entry is
+		// always the newest for its tag, so probing it first returns
+		// exactly what the scan would.
+		if set[h].valid && set[h].tag == key {
+			e := set[h]
+			copy(set[1:h+1], set[:h])
+			set[0] = e
+			t.hint[si] = 0
+			return e.stored, true
+		}
 	}
 	for w := range set {
 		if set[w].valid && set[w].tag == key {
@@ -217,6 +249,7 @@ func (t *Table) probeOne(key tagKey) (stored, bool) {
 			e := set[w]
 			copy(set[1:w+1], set[:w])
 			set[0] = e
+			t.hint[si] = 0 // the hit entry now leads the scan itself
 			return st, true
 		}
 	}
@@ -235,11 +268,23 @@ func (t *Table) insert(key tagKey, a, b, result uint64) {
 		t.inf[key] = st
 		return
 	}
-	set := t.sets[t.index(key)]
+	si := t.index(key)
+	set := t.sets[si]
 	if set[len(set)-1].valid {
 		t.stats.Evictions++
 	}
 	if t.ways > 1 {
+		// Keep the hint pointing at the set's tracked entry as the shift
+		// moves it one way deeper. The hint dies when the entry falls off
+		// the set's far end, was never valid, or is shadowed by this very
+		// insert (a duplicate tag via the public Insert path — the one
+		// case where probing the hinted way first could otherwise return
+		// a stale result).
+		if h := t.hint[si]; int(h) >= t.ways-1 || !set[h].valid || set[h].tag == key {
+			t.hint[si] = 0
+		} else {
+			t.hint[si] = h + 1
+		}
 		copy(set[1:], set[:len(set)-1])
 	}
 	set[0] = entry{tag: key, stored: st, valid: true}

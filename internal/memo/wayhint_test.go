@@ -1,0 +1,129 @@
+package memo
+
+import (
+	"math"
+	"testing"
+
+	"memotable/internal/isa"
+)
+
+// The last-hit-way hint is a pure probe-order optimization: it must
+// never change a lookup's result, a hit/miss decision, the statistics,
+// or the table's eviction behavior. These tests drive a hinted table and
+// its ablation in lockstep over adversarial streams and demand identical
+// observable state at every step.
+
+// hintStream runs the same deterministic operation stream against a
+// hinted and an unhinted table, comparing every outcome.
+func hintStream(t *testing.T, op isa.Op, cfg Config, steps int, mix func(i int, r uint64) (kind int, a, b uint64)) {
+	t.Helper()
+	hinted := New(op, cfg)
+	plain := New(op, cfg)
+	plain.noHint = true
+	seed := uint64(0x243f6a8885a308d3)
+	next := func() uint64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return seed >> 11
+	}
+	for i := 0; i < steps; i++ {
+		kind, a, b := mix(i, next())
+		switch kind {
+		case 0: // Lookup
+			hv, hh := hinted.Lookup(a, b)
+			pv, ph := plain.Lookup(a, b)
+			if hv != pv || hh != ph {
+				t.Fatalf("step %d: Lookup(%#x, %#x) hinted (%#x, %v) != plain (%#x, %v)",
+					i, a, b, hv, hh, pv, ph)
+			}
+		case 1: // Access
+			compute := func() uint64 { return a ^ b ^ 0xabcdef }
+			hv, hh := hinted.Access(a, b, compute)
+			pv, ph := plain.Access(a, b, compute)
+			if hv != pv || hh != ph {
+				t.Fatalf("step %d: Access(%#x, %#x) hinted (%#x, %v) != plain (%#x, %v)",
+					i, a, b, hv, hh, pv, ph)
+			}
+		case 2: // Insert — including duplicate tags, the shadowing case
+			hinted.Insert(a, b, a+b+uint64(i))
+			plain.Insert(a, b, a+b+uint64(i))
+		}
+		if i%64 == 0 {
+			if hinted.Stats() != plain.Stats() {
+				t.Fatalf("step %d: stats diverged: hinted %+v plain %+v", i, hinted.Stats(), plain.Stats())
+			}
+			if hinted.Len() != plain.Len() {
+				t.Fatalf("step %d: Len diverged: %d vs %d", i, hinted.Len(), plain.Len())
+			}
+		}
+	}
+	if hinted.Stats() != plain.Stats() {
+		t.Fatalf("final stats diverged: hinted %+v plain %+v", hinted.Stats(), plain.Stats())
+	}
+}
+
+// TestWayHintMatchesScan: random mixed traffic over several geometries
+// must be observationally identical with and without the hint.
+func TestWayHintMatchesScan(t *testing.T) {
+	fmulOperand := func(r uint64, pool uint64) uint64 {
+		return math.Float64bits(1.5 + float64(r%pool))
+	}
+	for _, cfg := range []Config{
+		{Entries: 32, Ways: 4},
+		{Entries: 32, Ways: 8},
+		{Entries: 32, Ways: 1},
+		{Entries: 8, Ways: 2},
+	} {
+		mix := func(i int, r uint64) (int, uint64, uint64) {
+			return int(r % 3), fmulOperand(r>>8, 48), fmulOperand(r>>24, 48)
+		}
+		hintStream(t, isa.OpFMul, cfg, 20000, mix)
+	}
+	// Integer multiply exercises the XOR set index.
+	imulMix := func(i int, r uint64) (int, uint64, uint64) {
+		return int(r % 3), 2 + r>>8%64, 2 + r>>24%64
+	}
+	hintStream(t, isa.OpIMul, Config{Entries: 32, Ways: 4}, 20000, imulMix)
+}
+
+// TestWayHintDuplicateInsertShadowing pins the one hazardous
+// interleaving directly: hit an entry, shift it deeper with unrelated
+// inserts (the hint now points past way 0), then Insert the same tag
+// again. The hinted probe must return the fresh value, not the stale
+// shadowed entry the hint used to track.
+func TestWayHintDuplicateInsertShadowing(t *testing.T) {
+	// Entries == Ways makes a single set, so every key shares it and the
+	// shifts land where the test expects.
+	tb := New(isa.OpIMul, Config{Entries: 4, Ways: 4})
+	const k = 7
+	tb.Insert(k, k, 100)
+	if v, hit := tb.Lookup(k, k); !hit || v != 100 {
+		t.Fatalf("Lookup(k) = %d, %v; want 100, true", v, hit)
+	}
+	// Two unrelated inserts shift k's entry to way 2; the hint tracks it.
+	tb.Insert(11, 11, 1)
+	tb.Insert(13, 13, 2)
+	// Shadow it: a fresh value for the same tag lands at way 0.
+	tb.Insert(k, k, 200)
+	if v, hit := tb.Lookup(k, k); !hit || v != 200 {
+		t.Fatalf("Lookup(k) after shadowing = %d, %v; want 200, true", v, hit)
+	}
+}
+
+// TestWayHintSurvivesReset: Reset must clear hints along with entries.
+func TestWayHintSurvivesReset(t *testing.T) {
+	tb := New(isa.OpIMul, Config{Entries: 8, Ways: 4})
+	tb.Insert(3, 3, 9)
+	if _, hit := tb.Lookup(3, 3); !hit {
+		t.Fatal("miss before reset")
+	}
+	tb.Insert(5, 5, 25)
+	tb.Reset()
+	if v, hit := tb.Lookup(3, 3); hit {
+		t.Fatalf("hit after Reset: %d", v)
+	}
+	for _, h := range tb.hint {
+		if h != 0 {
+			t.Fatalf("hint survived Reset: %v", tb.hint)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package trace
+
+import "sync"
+
+// The fan-out handoff contract. A fused replay has one producer (the
+// goroutine walking the decoded-block tier, or a live ingest session's
+// frame decoder) and several consumers, each owning a disjoint set of
+// sinks. The producer broadcasts each block through a bounded ring;
+// every consumer observes every block, in publication order, so each
+// sink still sees the exact event sequence a serial pass would deliver
+// it. Blocks are handed over by reference: the producer guarantees a
+// block's events stay immutable until the block is retired — forever for
+// decoded-block replays, until Flush returns for streamed frames whose
+// buffer the decoder reuses.
+
+// Block is the unit of fan-out handoff: one immutable event block plus
+// the union class mask of its events, so consumers can skip sinks whose
+// advertised masks miss the whole block.
+type Block struct {
+	Events []Event
+	Mask   OpMask
+}
+
+// Ring is a bounded single-producer multi-consumer broadcast ring. It is
+// not a work queue: every consumer sees every published block. The
+// producer blocks when it runs a full capacity ahead of the slowest
+// consumer (counted as a stall), consumers block waiting for the next
+// block, and either side can end the stream — the producer cleanly with
+// Close, anyone abortively with Abort, whose error latches and wakes
+// every waiter.
+//
+// A consumer's cursor advances only when its next Next call retires the
+// previously returned block, so Flush (and Close-then-drain) prove that
+// every consumer has fully processed every block, not merely received it.
+type Ring struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	slots  []Block
+	head   uint64   // blocks published so far
+	tails  []uint64 // per-consumer blocks fully processed
+	busy   []bool   // consumer holds the block at tails[i], still processing
+	closed bool
+	err    error // latched abort reason
+	stalls uint64
+}
+
+// NewRing builds a ring with the given block capacity and consumer
+// count. Both must be at least 1; the ring is fixed-shape for its
+// lifetime.
+func NewRing(capacity, consumers int) *Ring {
+	if capacity < 1 || consumers < 1 {
+		panic("trace: NewRing needs capacity >= 1 and consumers >= 1")
+	}
+	r := &Ring{
+		slots: make([]Block, capacity),
+		tails: make([]uint64, consumers),
+		busy:  make([]bool, consumers),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// minTail returns the slowest consumer's processed count. Callers hold mu.
+func (r *Ring) minTail() uint64 {
+	min := r.tails[0]
+	for _, t := range r.tails[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Publish broadcasts one block to every consumer, waiting while the ring
+// is a full capacity ahead of the slowest consumer. It returns the
+// latched abort error if the ring has been aborted (before or while
+// waiting), so a producer learns promptly that a consumer died.
+func (r *Ring) Publish(b Block) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stalled := false
+	for {
+		if r.err != nil {
+			return r.err
+		}
+		if r.closed {
+			// Publishing after Close is a programming error; report it
+			// the abortive way rather than corrupting consumer state.
+			r.err = errPublishAfterClose
+			r.cond.Broadcast()
+			return r.err
+		}
+		if r.head-r.minTail() < uint64(len(r.slots)) {
+			break
+		}
+		if !stalled {
+			stalled = true
+			r.stalls++
+		}
+		r.cond.Wait()
+	}
+	r.slots[r.head%uint64(len(r.slots))] = b
+	r.head++
+	r.cond.Broadcast()
+	return nil
+}
+
+// Next returns consumer c's next block in publication order, first
+// retiring the block the previous Next returned. It blocks until a block
+// is available; ok is false at the clean end of the stream (after Close,
+// once c has drained), and err carries the latched abort reason, which
+// ends the stream immediately even if unretired blocks remain.
+func (r *Ring) Next(c int) (b Block, ok bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.busy[c] {
+		r.busy[c] = false
+		r.tails[c]++
+		r.cond.Broadcast() // space freed; flushers and the producer may wake
+	}
+	for {
+		if r.err != nil {
+			return Block{}, false, r.err
+		}
+		if r.tails[c] < r.head {
+			b = r.slots[r.tails[c]%uint64(len(r.slots))]
+			r.busy[c] = true
+			return b, true, nil
+		}
+		if r.closed {
+			return Block{}, false, nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// Close ends the stream cleanly: consumers drain what remains, then see
+// ok == false. Closing twice is a no-op.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// Abort ends the stream abortively with err (which must be non-nil):
+// every current and future Publish, Next, and Flush returns it. The
+// first abort wins; later ones are no-ops.
+func (r *Ring) Abort(err error) {
+	if err == nil {
+		panic("trace: Ring.Abort(nil)")
+	}
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// Err returns the latched abort reason, nil while the ring is healthy.
+func (r *Ring) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Flush blocks until every consumer has fully processed every published
+// block, or returns the abort reason. A producer handing over a buffer
+// it intends to reuse must Flush before touching it again.
+func (r *Ring) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.err != nil {
+			return r.err
+		}
+		if r.minTail() == r.head && !anyBusy(r.busy) {
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+func anyBusy(busy []bool) bool {
+	for _, b := range busy {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Stalls returns how many Publish calls had to wait for the slowest
+// consumer — the backpressure signal the engine aggregates per replay.
+func (r *Ring) Stalls() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stalls
+}
+
+var errPublishAfterClose = &ringMisuseError{"trace: Ring.Publish after Close"}
+
+// ringMisuseError distinguishes a contract violation from workload
+// failures without exporting a sentinel nobody should match on.
+type ringMisuseError struct{ msg string }
+
+func (e *ringMisuseError) Error() string { return e.msg }

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memotable/internal/isa"
+)
+
+// ringBlocks builds n distinct one-event blocks so consumers can check
+// ordering by operand value.
+func ringBlocks(n int) []Block {
+	out := make([]Block, n)
+	for i := range out {
+		out[i] = Block{
+			Events: []Event{{Op: isa.OpIMul, A: uint64(i), B: 1}},
+			Mask:   MaskOf(isa.OpIMul),
+		}
+	}
+	return out
+}
+
+// TestRingBroadcastOrder: every consumer sees every block, in
+// publication order, regardless of relative consumer speed.
+func TestRingBroadcastOrder(t *testing.T) {
+	const consumers, blocks = 3, 500
+	r := NewRing(4, consumers)
+	var wg sync.WaitGroup
+	seen := make([][]uint64, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				b, ok, err := r.Next(c)
+				if err != nil {
+					t.Errorf("consumer %d: unexpected abort: %v", c, err)
+					return
+				}
+				if !ok {
+					return
+				}
+				seen[c] = append(seen[c], b.Events[0].A)
+			}
+		}(c)
+	}
+	for _, b := range ringBlocks(blocks) {
+		if err := r.Publish(b); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	r.Close()
+	wg.Wait()
+	for c := 0; c < consumers; c++ {
+		if len(seen[c]) != blocks {
+			t.Fatalf("consumer %d saw %d of %d blocks", c, len(seen[c]), blocks)
+		}
+		for i, v := range seen[c] {
+			if v != uint64(i) {
+				t.Fatalf("consumer %d: block %d out of order: got %d", c, i, v)
+			}
+		}
+	}
+}
+
+// TestRingBounded: a producer running ahead of a parked consumer stalls
+// at the ring's capacity instead of buffering without bound, and the
+// stall is counted.
+func TestRingBounded(t *testing.T) {
+	const capacity = 2
+	r := NewRing(capacity, 1)
+	blocks := ringBlocks(capacity + 1)
+	for i := 0; i < capacity; i++ {
+		if err := r.Publish(blocks[i]); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	published := make(chan struct{})
+	go func() {
+		_ = r.Publish(blocks[capacity]) // must block until the consumer drains one
+		close(published)
+	}()
+	// The producer must park and count its stall before anything drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Stalls() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("publish past capacity never stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-published:
+		t.Fatal("publish past capacity did not block")
+	default:
+	}
+	if _, ok, err := r.Next(0); !ok || err != nil {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	// Retire the first block (Next retires on the following call).
+	if _, ok, err := r.Next(0); !ok || err != nil {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	<-published
+	if r.Stalls() == 0 {
+		t.Fatal("stalled publish was not counted")
+	}
+}
+
+// TestRingAbortFromConsumer: an abort wakes a blocked producer and
+// latches for every side.
+func TestRingAbortFromConsumer(t *testing.T) {
+	r := NewRing(1, 1)
+	boom := errors.New("boom")
+	if err := r.Publish(ringBlocks(1)[0]); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Publish(ringBlocks(1)[0]) // blocks: capacity 1, nothing consumed
+	}()
+	r.Abort(boom)
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("blocked Publish returned %v; want %v", err, boom)
+	}
+	if _, ok, err := r.Next(0); ok || !errors.Is(err, boom) {
+		t.Fatalf("Next after abort: ok=%v err=%v", ok, err)
+	}
+	if err := r.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("Flush after abort: %v", err)
+	}
+	if err := r.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err: %v", err)
+	}
+	// First abort wins.
+	r.Abort(errors.New("later"))
+	if err := r.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err after second abort: %v", err)
+	}
+}
+
+// TestRingFlushWaitsForProcessing: Flush must not return while a
+// consumer still holds an unretired block — the property ingest relies
+// on before the stream decoder reuses its frame buffer.
+func TestRingFlushWaitsForProcessing(t *testing.T) {
+	r := NewRing(2, 1)
+	if err := r.Publish(ringBlocks(1)[0]); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if _, ok, err := r.Next(0); !ok || err != nil {
+		t.Fatalf("Next: ok=%v err=%v", ok, err)
+	}
+	// The consumer holds the block: Flush must block.
+	flushed := make(chan struct{})
+	go func() {
+		if err := r.Flush(); err != nil {
+			t.Errorf("Flush: %v", err)
+		}
+		close(flushed)
+	}()
+	select {
+	case <-flushed:
+		t.Fatal("Flush returned while the block was still being processed")
+	default:
+	}
+	r.Close()
+	if _, ok, _ := r.Next(0); ok {
+		t.Fatal("Next after close and drain returned a block")
+	}
+	<-flushed
+}
+
+// TestRingPublishAfterClose: the contract violation aborts the ring
+// rather than corrupting consumer state.
+func TestRingPublishAfterClose(t *testing.T) {
+	r := NewRing(1, 1)
+	r.Close()
+	if err := r.Publish(ringBlocks(1)[0]); err == nil {
+		t.Fatal("Publish after Close succeeded")
+	}
+	if r.Err() == nil {
+		t.Fatal("misuse did not latch")
+	}
+}
+
+// TestRingHammer exercises the full protocol under -race: a producer,
+// consumers of deliberately different speeds, and a concurrent flusher.
+func TestRingHammer(t *testing.T) {
+	const consumers, blocks = 4, 2000
+	r := NewRing(8, consumers)
+	var wg sync.WaitGroup
+	var total atomic.Uint64
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var n uint64
+			for {
+				b, ok, err := r.Next(c)
+				if !ok || err != nil {
+					total.Add(n)
+					return
+				}
+				if c == 0 {
+					// The slow consumer does token work per block.
+					for i := 0; i < 50; i++ {
+						_ = b.Events[0].A * uint64(i)
+					}
+				}
+				n += uint64(len(b.Events))
+			}
+		}(c)
+	}
+	for _, b := range ringBlocks(blocks) {
+		if err := r.Publish(b); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r.Close()
+	wg.Wait()
+	if got := total.Load(); got != consumers*blocks {
+		t.Fatalf("consumed %d events; want %d", got, consumers*blocks)
+	}
+}
