@@ -33,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -66,6 +67,10 @@ func run() int {
 		"fault-injection spec (testing), e.g. 'seed=1;engine.spill.write:p=0.01'; overrides $FAULTS")
 	ingestFlag := flag.String("ingest", "",
 		"replay a v2 trace file through the live-ingest instruments and print the final snapshot (offline comparator for tracecap -listen)")
+	serveFlag := flag.String("serve", "",
+		"serve the experiment engine over HTTP on this address (e.g. 127.0.0.1:8080): GET /v1/run responses are byte-identical to -run -json output for the same selection; tenants share one warm trace cache")
+	tenantBudgetFlag := flag.Int64("tenant-budget", 0,
+		"with -serve: per-tenant trace-cache byte budget, nested under the engine's global limit (0 gives every tenant the global limit)")
 	fanoutFlag := flag.Int("fanout", 0,
 		"fan-out replay budget: delivery goroutines shared by all concurrently replaying cells; 0 matches the worker count, 1 forces serial delivery")
 	cpuProfileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -112,16 +117,9 @@ func run() int {
 		return 0
 	}
 
-	var scale memotable.Scale
-	switch *scaleFlag {
-	case "tiny":
-		scale = memotable.Tiny
-	case "quick":
-		scale = memotable.Quick
-	case "full":
-		scale = memotable.Full
-	default:
-		fmt.Fprintf(os.Stderr, "memosim: unknown scale %q\n", *scaleFlag)
+	scale, err := memotable.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memosim:", err)
 		return 2
 	}
 
@@ -174,6 +172,16 @@ func run() int {
 	}
 	defer func() { _ = eng.Close() }()
 
+	// Service mode: the same engine, shared by many tenants over HTTP.
+	// The run-shaping flags (-scale, -run) don't apply — each request
+	// carries its own selection — but -timeout becomes the per-run cap.
+	if *serveFlag != "" {
+		return runServe(*serveFlag, eng, memotable.ServiceConfig{
+			TenantBudget: *tenantBudgetFlag,
+			RunTimeout:   *timeoutFlag,
+		})
+	}
+
 	ctx := context.Background()
 	if *timeoutFlag > 0 {
 		var cancel context.CancelFunc
@@ -208,20 +216,12 @@ func run() int {
 	}
 
 	if *jsonFlag {
-		fmt.Println("[")
-		for i, r := range results {
-			buf, err := memotable.RenderJSON(r)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "memosim:", err)
-				return 1
-			}
-			sep := ","
-			if i == len(results)-1 {
-				sep = ""
-			}
-			fmt.Printf("%s%s\n", buf, sep)
+		body, err := memotable.RenderJSONArray(results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memosim:", err)
+			return 1
 		}
-		fmt.Println("]")
+		_, _ = os.Stdout.Write(body)
 		return exit
 	}
 
@@ -232,26 +232,33 @@ func run() int {
 
 	// Engine summary: how much the trace cache and the decoded-block tier
 	// saved across the whole invocation.
-	evs := eng.ReplayedEvents()
+	st := eng.Stats()
 	fmt.Printf("suite: %d experiments in %v, %d workers\n",
-		len(results), elapsed.Round(time.Millisecond), eng.Workers())
-	fmt.Printf("engine: %d captures, %d replays (%d recaptures, %d traces spilled to disk)\n",
-		eng.Captures(), eng.Replays(), eng.Recaptures(), eng.SpilledTraces())
-	if st := eng.Store(); st != nil {
-		n, _ := st.Len()
-		fmt.Printf("engine: trace store: %d hits, %d puts (%d entries in %s)\n",
-			eng.StoreHits(), eng.StorePuts(), n, st.Dir())
-	}
-	fmt.Printf("engine: replayed %d events in %v (%.1fM events/sec)\n",
-		evs, elapsed.Round(time.Millisecond),
-		float64(evs)/elapsed.Seconds()/1e6)
-	fmt.Printf("engine: decoded-block cache: %d entries, %.1f MiB, %d decode-once hits\n",
-		eng.DecodedEntries(), float64(eng.DecodedBlockBytes())/(1<<20), eng.DecodeOnceHits())
-	fmt.Printf("engine: fan-out: %d workers, %d fan-out replays, %d ring stalls; %d per-sink events delivered (%.1fM events/sec), %d mask skips\n",
-		eng.FanOut(), eng.FanoutReplays(), eng.RingStalls(),
-		eng.DeliveredEvents(), float64(eng.DeliveredEvents())/elapsed.Seconds()/1e6,
-		eng.MaskSkips())
+		len(results), elapsed.Round(time.Millisecond), st.Workers)
+	engineSummary(os.Stdout, eng, st, elapsed)
 	return exit
+}
+
+// engineSummary prints the engine's cache/replay footer from one stats
+// snapshot. The -run path and the -serve shutdown path share it, so the
+// line formats — which the goldens and CI greps pin — stay in lockstep.
+func engineSummary(w io.Writer, eng *memotable.Engine, st memotable.EngineStats, elapsed time.Duration) {
+	fmt.Fprintf(w, "engine: %d captures, %d replays (%d recaptures, %d traces spilled to disk)\n",
+		st.Captures, st.Replays, st.Recaptures, st.SpilledTraces)
+	if s := eng.Store(); s != nil {
+		n, _ := s.Len()
+		fmt.Fprintf(w, "engine: trace store: %d hits, %d puts (%d entries in %s)\n",
+			st.StoreHits, st.StorePuts, n, s.Dir())
+	}
+	fmt.Fprintf(w, "engine: replayed %d events in %v (%.1fM events/sec)\n",
+		st.ReplayedEvents, elapsed.Round(time.Millisecond),
+		float64(st.ReplayedEvents)/elapsed.Seconds()/1e6)
+	fmt.Fprintf(w, "engine: decoded-block cache: %d entries, %.1f MiB, %d decode-once hits\n",
+		st.DecodedEntries, float64(st.DecodedBlockBytes)/(1<<20), st.DecodeOnceHits)
+	fmt.Fprintf(w, "engine: fan-out: %d workers, %d fan-out replays, %d ring stalls; %d per-sink events delivered (%.1fM events/sec), %d mask skips\n",
+		st.FanOut, st.FanoutReplays, st.RingStalls,
+		st.DeliveredEvents, float64(st.DeliveredEvents)/elapsed.Seconds()/1e6,
+		st.MaskSkips)
 }
 
 // runOfflineIngest feeds a v2 trace file through the identical
@@ -265,14 +272,19 @@ func runOfflineIngest(path string) int {
 		return 1
 	}
 	bank := memotable.NewLiveBank(1)
-	sess := memotable.NewEngine(1).NewIngest("offline", memotable.IngestOptions{Sinks: bank.Sinks()})
+	eng := memotable.NewEngine(1)
+	sess := eng.NewIngest("offline", memotable.IngestOptions{Sinks: bank.Sinks()})
 	var serr error
 	if serr = sess.Feed(data); serr == nil {
 		var res memotable.IngestResult
 		if res, serr = sess.Seal(); serr == nil {
 			fmt.Println(memotable.RenderText(bank.Snapshot(res.Stats)))
+			// The engine-level ingest counters equal the session's stats
+			// here (one session per invocation); printing from the same
+			// Stats snapshot the other paths use keeps one formatter.
+			st := eng.Stats()
 			fmt.Fprintf(os.Stderr, "memosim: replayed %d events in %d frames (%d bytes) from %s\n",
-				res.Stats.Events, res.Stats.Frames, res.Stats.Bytes, path)
+				st.IngestedEvents, st.IngestedFrames, st.IngestedBytes, path)
 			return 0
 		}
 	}

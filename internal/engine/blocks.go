@@ -50,7 +50,7 @@ type traceBlock struct {
 // has no room — callers then fall back to the byte decoder. A decode
 // failure of a disk-tier entry is returned as an error so the caller can
 // invalidate the spill file and retry; nothing has been emitted.
-func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error) {
+func (e *Engine) blocksFor(acct BudgetAccountant, key string, snap entrySnapshot) ([]traceBlock, error) {
 	e.mu.Lock()
 	ent := e.traces[key]
 	if ent == nil || ent.state != snap.state || ent.path != snap.path {
@@ -64,12 +64,10 @@ func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error)
 		return blocks, nil
 	}
 	cost := int64(snap.events) * bytesPerEvent
-	if !e.blockCache || ent.blockBusy ||
-		e.used+e.blockBytes+e.reserved+cost > e.cacheLimit {
+	if !e.blockCache || ent.blockBusy || !acct.Reserve(cost) {
 		e.mu.Unlock()
 		return nil, nil
 	}
-	e.reserved += cost
 	ent.blockBusy = true
 	e.mu.Unlock()
 
@@ -78,7 +76,7 @@ func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error)
 	// path); an injected panic unwinds to the replay's panic isolation.
 	if ferr := faults.Inject(faults.BlockDecode); ferr != nil {
 		e.mu.Lock()
-		e.reserved -= cost
+		acct.Release(cost, 0)
 		ent.blockBusy = false
 		e.mu.Unlock()
 		return nil, nil
@@ -87,9 +85,9 @@ func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error)
 	blocks, err := e.decodeBlocksRetrying(snap)
 
 	e.mu.Lock()
-	e.reserved -= cost
 	ent.blockBusy = false
 	if err != nil {
+		acct.Release(cost, 0)
 		e.mu.Unlock()
 		return nil, err
 	}
@@ -97,9 +95,13 @@ func (e *Engine) blocksFor(key string, snap entrySnapshot) ([]traceBlock, error)
 	// concurrent invalidation means the slot is being re-captured and
 	// these blocks must not shadow it.
 	if ent.state == snap.state && ent.path == snap.path && ent.blocks == nil {
+		acct.Commit(cost, cost)
 		ent.blocks = blocks
 		ent.blockBytes = cost
+		ent.blockAcct = acct
 		e.blockBytes += cost
+	} else {
+		acct.Release(cost, 0)
 	}
 	e.mu.Unlock()
 	return blocks, nil

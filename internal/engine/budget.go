@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// The budget layer. Every byte the engine's cache tiers hold — encoded
+// traces in the memory tier, decoded event blocks — is accounted against
+// a BudgetAccountant before it is buffered: Reserve claims space ahead
+// of use, Commit converts a reservation into held bytes once the data
+// settles, and Release returns space when an entry is invalidated. The
+// accountant is the engine's single space-control seam: tiers never
+// consult a raw limit, they ask the accountant, so a caller that wants
+// finer space control (a per-tenant budget, say) swaps the accountant
+// rather than patching tier code.
+//
+// Budget is the hierarchical implementation: child budgets nest under a
+// parent, and a reservation must clear every level — a tenant child can
+// never hold bytes its own limit forbids, nor bytes the shared parent
+// has no room for. Selective memoization's contract (Acar, Blelloch &
+// Harper: callers control the space memoization may consume) maps to
+// exactly this shape when one shared cache serves many tenants: the
+// engine owns the root, each tenant reserves through its child, and a
+// tenant that exhausts its slice degrades its own workloads to direct
+// re-execution without evicting — or even observing — another tenant's
+// entries.
+
+// BudgetAccountant is the narrow reserve/commit/release interface the
+// cache tiers charge bytes through.
+type BudgetAccountant interface {
+	// Reserve claims n bytes ahead of use. It either claims the bytes at
+	// every level of the hierarchy and returns true, or has no effect and
+	// returns false.
+	Reserve(n int64) bool
+	// Commit settles a reservation: reserved bytes (previously claimed by
+	// Reserve) are returned and used bytes are recorded as held. used may
+	// be smaller than reserved — a capture that reserved frame-granular
+	// chunks commits its exact encoded size.
+	Commit(reserved, used int64)
+	// Release returns claimed bytes: reserved bytes still un-committed,
+	// and used bytes whose data has been dropped.
+	Release(reserved, used int64)
+	// SetLimit adjusts the accountant's own byte limit. A non-positive
+	// limit rejects every reservation.
+	SetLimit(n int64)
+	// Limit returns the accountant's own byte limit.
+	Limit() int64
+	// Used returns the bytes committed and still held.
+	Used() int64
+	// Reserved returns the bytes reserved but not yet committed.
+	Reserved() int64
+}
+
+// Budget is a hierarchical BudgetAccountant: an operation against a
+// child propagates to its parent, so used+reserved never exceeds the
+// limit at any level. The zero value is unusable; construct the root
+// with NewBudget and children with Child.
+type Budget struct {
+	parent *Budget
+
+	mu       sync.Mutex
+	limit    int64
+	used     int64
+	reserved int64
+}
+
+// NewBudget builds a root budget with the given byte limit.
+func NewBudget(limit int64) *Budget {
+	return &Budget{limit: limit}
+}
+
+// Child builds a budget nested under b: reservations must clear both the
+// child's limit and every ancestor's, so the child bounds its holder's
+// slice of the shared space without being able to exceed it.
+func (b *Budget) Child(limit int64) *Budget {
+	return &Budget{parent: b, limit: limit}
+}
+
+// Parent returns the budget this one nests under (nil at the root).
+func (b *Budget) Parent() *Budget { return b.parent }
+
+// Reserve implements BudgetAccountant. The local claim is taken first
+// and unwound if any ancestor rejects, so a failed Reserve has no
+// effect at any level.
+func (b *Budget) Reserve(n int64) bool {
+	b.mu.Lock()
+	if b.used+b.reserved+n > b.limit {
+		b.mu.Unlock()
+		return false
+	}
+	b.reserved += n
+	b.mu.Unlock()
+	if b.parent != nil && !b.parent.Reserve(n) {
+		b.mu.Lock()
+		b.reserved -= n
+		b.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// Commit implements BudgetAccountant.
+func (b *Budget) Commit(reserved, used int64) {
+	b.mu.Lock()
+	b.reserved -= reserved
+	b.used += used
+	b.mu.Unlock()
+	if b.parent != nil {
+		b.parent.Commit(reserved, used)
+	}
+}
+
+// Release implements BudgetAccountant.
+func (b *Budget) Release(reserved, used int64) {
+	b.mu.Lock()
+	b.reserved -= reserved
+	b.used -= used
+	b.mu.Unlock()
+	if b.parent != nil {
+		b.parent.Release(reserved, used)
+	}
+}
+
+// SetLimit implements BudgetAccountant. Only this level's limit moves;
+// ancestors keep theirs.
+func (b *Budget) SetLimit(n int64) {
+	b.mu.Lock()
+	b.limit = n
+	b.mu.Unlock()
+}
+
+// Limit implements BudgetAccountant.
+func (b *Budget) Limit() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.limit
+}
+
+// Used implements BudgetAccountant.
+func (b *Budget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Reserved implements BudgetAccountant.
+func (b *Budget) Reserved() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reserved
+}
+
+// budgetKey carries a per-call accountant through a context.
+type budgetKey struct{}
+
+// WithBudget returns a context that charges cache bytes reserved on
+// behalf of its calls to acct instead of the engine's root budget. The
+// accountant must admit no bytes the engine's root would reject — in
+// practice, pass a Budget built by Engine.Budget().Child, whose
+// reservations clear the root by construction. The service layer uses
+// this to nest per-tenant budgets under the engine's global limit.
+func WithBudget(ctx context.Context, acct BudgetAccountant) context.Context {
+	return context.WithValue(ctx, budgetKey{}, acct)
+}
+
+// budgetFrom resolves the accountant a call charges: the context's, or
+// the engine's root budget.
+func (e *Engine) budgetFrom(ctx context.Context) BudgetAccountant {
+	if acct, ok := ctx.Value(budgetKey{}).(BudgetAccountant); ok && acct != nil {
+		return acct
+	}
+	return e.budget
+}
+
+// Budget returns the engine's root budget — the global cache limit every
+// tier reserves against. Build per-tenant slices with Budget().Child.
+func (e *Engine) Budget() *Budget { return e.budget }

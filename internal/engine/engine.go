@@ -91,14 +91,19 @@ type traceEntry struct {
 	data   []byte // stateMemory: encoded v2 trace
 	events uint64
 	path   string // stateDisk: spill file
+	disk   int64  // stateDisk: sealed spill file size (spill-tier stats)
 
 	// Decoded-block tier: the stream decoded once into event blocks.
 	blocks     []traceBlock
-	blockBytes int64 // bytes blocks charge against the budget
-	blockBusy  bool  // one goroutine is decoding; others use the byte path
+	blockBytes int64            // bytes blocks charge against the budget
+	blockAcct  BudgetAccountant // the accountant those bytes are committed to
+	blockBusy  bool             // one goroutine is decoding; others use the byte path
 
-	// Conditions observed when the entry was declined. The entry
-	// re-arms when either improves (budget grew, spill tier appeared).
+	// Conditions observed when the entry was declined. The entry re-arms
+	// when any improves: the declining accountant's budget grew, a spill
+	// tier appeared, or a different accountant (another tenant, with its
+	// own budget) asks for the entry.
+	declinedAcct  BudgetAccountant
 	declinedLimit int64
 	declinedSpill bool
 }
@@ -117,17 +122,28 @@ type entrySnapshot struct {
 type Engine struct {
 	workers int
 
+	// budget is the root BudgetAccountant every cache tier charges bytes
+	// through (budget.go): memory-tier adoptions and decoded-block
+	// publishes commit against it, in-flight captures and decodes reserve
+	// against it, so used+reserved never exceeds the limit. Per-call
+	// accountants (WithBudget) nest under this root.
+	budget *Budget
+
 	mu         sync.Mutex
 	cond       *sync.Cond // broadcast when an entry leaves stateInflight
-	cacheLimit int64
-	used       int64 // bytes held by stateMemory entries
-	blockBytes int64 // bytes held by decoded-block tiers of all entries
-	reserved   int64 // bytes reserved by in-flight captures and decodes;
-	// used+blockBytes+reserved <= cacheLimit
-	blockCache bool // decoded-block tier enabled (default true)
+	memBytes   int64      // bytes held by stateMemory entries
+	blockBytes int64      // bytes held by decoded-block tiers of all entries
+	blockCache bool       // decoded-block tier enabled (default true)
 	spillDir   string
 	traces     map[string]*traceEntry
 	tstore     *tracestore.Store // persistent cross-process store (nil: disabled)
+
+	// Close latch: once closed, new passes, replays and ingest sessions
+	// fail with ErrClosed; Close itself waits for in-flight work (begin/
+	// end brackets) to drain before touching spill files.
+	closed   bool
+	inflight int
+	closeErr error // result of the first Close, repeated by later calls
 
 	// Fan-out replay budget (fanout.go): tokens for delivery goroutines
 	// shared by all concurrently replaying cells and ingest sessions.
@@ -159,6 +175,7 @@ type Engine struct {
 	// Live-ingest counters (ingest.go).
 	ingestFrames  atomic.Uint64 // frames delivered by ingest sessions
 	ingestEvents  atomic.Uint64 // events delivered by ingest sessions
+	ingestBytes   atomic.Uint64 // raw stream bytes fed to ingest sessions
 	sealedIngests atomic.Uint64 // ingest sessions sealed cleanly
 }
 
@@ -170,7 +187,7 @@ func New(workers int) *Engine {
 	}
 	e := &Engine{
 		workers:       workers,
-		cacheLimit:    DefaultCacheBytes,
+		budget:        NewBudget(DefaultCacheBytes),
 		blockCache:    true,
 		fanWorkers:    workers,
 		traces:        make(map[string]*traceEntry),
@@ -193,9 +210,7 @@ func (e *Engine) Workers() int { return e.workers }
 // set, and are declined otherwise). Raising the limit re-arms captures
 // that were previously declined for space.
 func (e *Engine) SetCacheLimit(n int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cacheLimit = n
+	e.budget.SetLimit(n)
 }
 
 // SetTraceDir enables the disk spill tier: captures that exceed the
@@ -252,20 +267,66 @@ func (e *Engine) SetBlockCache(on bool) {
 	e.blockCache = on
 	if !on {
 		for _, ent := range e.traces {
-			if ent.blocks != nil {
-				e.blockBytes -= ent.blockBytes
-				ent.blocks, ent.blockBytes = nil, 0
-			}
+			e.dropBlocksLocked(ent)
 		}
 	}
 }
 
-// Close removes the engine's spill files and sweeps any orphaned spill
-// temp files from the trace directory. The engine stays usable —
-// spilled entries revert to stateEmpty and would be re-captured — but
-// Close is meant for the end of a run, after all cells have finished.
+// dropBlocksLocked releases an entry's decoded-block tier — the shared
+// blocks, the tier's byte accounting, and the budget bytes the decode
+// committed. Callers hold e.mu.
+func (e *Engine) dropBlocksLocked(ent *traceEntry) {
+	if ent.blocks == nil {
+		return
+	}
+	e.blockBytes -= ent.blockBytes
+	if ent.blockAcct != nil {
+		ent.blockAcct.Release(0, ent.blockBytes)
+	}
+	ent.blocks, ent.blockBytes, ent.blockAcct = nil, 0, nil
+}
+
+// begin brackets one unit of in-flight work (a pass, a fused replay, a
+// warm) against Close: it fails with ErrClosed once the engine is
+// closed, and a successful begin must be paired with end.
+func (e *Engine) begin() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.inflight++
+	return nil
+}
+
+// end retires one begin, waking a Close blocked on the drain.
+func (e *Engine) end() {
+	e.mu.Lock()
+	e.inflight--
+	if e.closed && e.inflight == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// Close shuts the engine down: new RunPassContext, Warm, Replay and
+// NewIngest calls fail with ErrClosed, in-flight work is waited out, and
+// only then are the engine's spill files removed and orphaned spill temp
+// files swept from the trace directory — a live replay can never race
+// the removal of the file it is streaming. Close is idempotent: the
+// first call does the work and latches its result, later calls return
+// that same result without re-touching the filesystem.
 func (e *Engine) Close() error {
 	e.mu.Lock()
+	if e.closed {
+		err := e.closeErr
+		e.mu.Unlock()
+		return err
+	}
+	e.closed = true
+	for e.inflight > 0 {
+		e.cond.Wait()
+	}
 	dir := e.spillDir
 	var paths []string
 	for _, ent := range e.traces {
@@ -273,12 +334,8 @@ func (e *Engine) Close() error {
 			paths = append(paths, ent.path)
 			ent.state = stateEmpty
 			ent.path = ""
-			// The entry will re-capture if used again; blocks decoded
-			// from the removed file must not shadow the fresh capture.
-			if ent.blocks != nil {
-				e.blockBytes -= ent.blockBytes
-				ent.blocks, ent.blockBytes = nil, 0
-			}
+			// Blocks decoded from the removed file must not outlive it.
+			e.dropBlocksLocked(ent)
 		}
 	}
 	e.mu.Unlock()
@@ -289,101 +346,11 @@ func (e *Engine) Close() error {
 		}
 	}
 	sweepSpillOrphans(dir)
+	e.mu.Lock()
+	e.closeErr = firstErr
+	e.mu.Unlock()
 	return firstErr
 }
-
-// CachedTraces returns the number of captures held in the memory tier.
-func (e *Engine) CachedTraces() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	n := 0
-	for _, ent := range e.traces {
-		if ent.state == stateMemory {
-			n++
-		}
-	}
-	return n
-}
-
-// SpilledTraces returns the number of captures held in the disk tier.
-func (e *Engine) SpilledTraces() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	n := 0
-	for _, ent := range e.traces {
-		if ent.state == stateDisk {
-			n++
-		}
-	}
-	return n
-}
-
-// CachedBytes returns the encoded size of all memory-tier captures.
-func (e *Engine) CachedBytes() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.used
-}
-
-// DecodedEntries returns the number of cache entries holding decoded
-// blocks.
-func (e *Engine) DecodedEntries() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	n := 0
-	for _, ent := range e.traces {
-		if ent.blocks != nil {
-			n++
-		}
-	}
-	return n
-}
-
-// DecodedBlockBytes returns the budget bytes held by the decoded-block
-// tier across all entries.
-func (e *Engine) DecodedBlockBytes() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.blockBytes
-}
-
-// Captures returns how many workload executions the engine has performed
-// (cache misses plus declined-to-store re-runs).
-func (e *Engine) Captures() uint64 { return e.captures.Load() }
-
-// Replays returns how many cache replays the engine has served, from
-// either tier.
-func (e *Engine) Replays() uint64 { return e.replays.Load() }
-
-// Recaptures returns how many spill files failed checksum verification
-// and were invalidated for transparent re-capture.
-func (e *Engine) Recaptures() uint64 { return e.recaptures.Load() }
-
-// DecodeOnceHits returns how many cache replays were served from shared
-// decoded blocks rather than by re-decoding encoded bytes.
-func (e *Engine) DecodeOnceHits() uint64 { return e.decodeHits.Load() }
-
-// ReplayedEvents returns the total events delivered by cache replays
-// (fused replays count their stream once, not once per sink).
-func (e *Engine) ReplayedEvents() uint64 { return e.replayedEv.Load() }
-
-// SpillRetries returns how many spill I/O operations were retried after
-// a transient failure.
-func (e *Engine) SpillRetries() uint64 { return e.spillRetry.Load() }
-
-// DegradedCaptures returns how many captures were degraded to direct
-// re-execution because their spill I/O kept failing after the bounded
-// retries. A degraded workload still produces byte-identical results —
-// it just re-executes on every replay instead of being cached.
-func (e *Engine) DegradedCaptures() uint64 { return e.degradedCap.Load() }
-
-// StoreHits returns how many cache entries were settled from the
-// persistent trace store instead of executing their workload.
-func (e *Engine) StoreHits() uint64 { return e.storeHits.Load() }
-
-// StorePuts returns how many fresh captures were published to the
-// persistent trace store.
-func (e *Engine) StorePuts() uint64 { return e.storePuts.Load() }
 
 // Map runs cell(0..n-1) across the worker pool and returns when all
 // cells have finished. Cells must be independent: each writes only its
@@ -436,12 +403,13 @@ func (e *Engine) Map(n int, cell func(i int)) {
 // holds it yet — and returns a snapshot of the settled state. Concurrent
 // callers for the same key singleflight: exactly one captures, the rest
 // wait on the engine's condition variable. A declined entry re-arms here
-// when the budget has grown or a spill tier has appeared since the
-// decline was recorded. A capture whose workload fails (an error from
-// the capture.run injection point, or a panic inside the workload)
-// re-arms the entry for later callers and returns the failure, wrapping
-// ErrCaptureFailed, to the caller that triggered it.
-func (e *Engine) ensure(key string, capture CaptureFunc) (entrySnapshot, error) {
+// when the budget has grown, a spill tier has appeared, or a different
+// accountant (with its own budget) asks for the entry. A capture whose
+// workload fails (an error from the capture.run injection point, or a
+// panic inside the workload) re-arms the entry for later callers and
+// returns the failure, wrapping ErrCaptureFailed, to the caller that
+// triggered it. Cache bytes the settle buffers are charged to acct.
+func (e *Engine) ensure(acct BudgetAccountant, key string, capture CaptureFunc) (entrySnapshot, error) {
 	e.mu.Lock()
 	ent, ok := e.traces[key]
 	if !ok {
@@ -455,7 +423,8 @@ func (e *Engine) ensure(key string, capture CaptureFunc) (entrySnapshot, error) 
 			e.mu.Unlock()
 			return snap, nil
 		case stateDeclined:
-			if e.cacheLimit > ent.declinedLimit || (e.spillDir != "" && !ent.declinedSpill) {
+			if acct != ent.declinedAcct || acct.Limit() > ent.declinedLimit ||
+				(e.spillDir != "" && !ent.declinedSpill) {
 				ent.state = stateEmpty // conditions improved: re-arm
 				continue
 			}
@@ -464,7 +433,7 @@ func (e *Engine) ensure(key string, capture CaptureFunc) (entrySnapshot, error) 
 		case stateEmpty:
 			ent.state = stateInflight
 			e.mu.Unlock()
-			if err := e.store(ent, capture); err != nil {
+			if err := e.store(acct, ent, capture); err != nil {
 				return entrySnapshot{}, err
 			}
 			e.mu.Lock()
@@ -479,9 +448,19 @@ func (e *Engine) ensure(key string, capture CaptureFunc) (entrySnapshot, error) 
 // list up front so the replay fan-out never stalls a cell on a capture.
 // A failing workload surfaces here wrapping ErrCaptureFailed; the entry
 // stays re-armed, so a later Replay retries rather than inheriting the
-// fault.
+// fault. A closed engine fails with ErrClosed.
 func (e *Engine) Warm(key string, capture CaptureFunc) error {
-	_, err := e.ensure(key, capture)
+	return e.WarmContext(context.Background(), key, capture)
+}
+
+// WarmContext is Warm charging cache bytes to the context's budget
+// accountant (WithBudget) instead of the engine's root budget.
+func (e *Engine) WarmContext(ctx context.Context, key string, capture CaptureFunc) error {
+	if err := e.begin(); err != nil {
+		return err
+	}
+	defer e.end()
+	_, err := e.ensure(e.budgetFrom(ctx), key, capture)
 	return err
 }
 
@@ -528,6 +507,11 @@ func (e *Engine) ReplayAllContext(ctx context.Context, key string, capture Captu
 	if len(sinks) == 0 {
 		return 0, nil
 	}
+	if err := e.begin(); err != nil {
+		return 0, err
+	}
+	defer e.end()
+	acct := e.budgetFrom(ctx)
 	var fanout trace.Sink
 	if len(sinks) == 1 {
 		fanout = sinks[0]
@@ -538,7 +522,7 @@ func (e *Engine) ReplayAllContext(ctx context.Context, key string, capture Captu
 		if ctx.Err() != nil {
 			return 0, ctxErr(ctx)
 		}
-		snap, err := e.ensure(key, capture)
+		snap, err := e.ensure(acct, key, capture)
 		if err != nil {
 			return 0, err
 		}
@@ -555,7 +539,7 @@ func (e *Engine) ReplayAllContext(ctx context.Context, key string, capture Captu
 			return cs.n, nil
 
 		case stateMemory:
-			blocks, err := e.blocksFor(key, snap)
+			blocks, err := e.blocksFor(acct, key, snap)
 			if err != nil {
 				// The memory tier holds bytes our own writer encoded;
 				// failing to decode them is a programming error.
@@ -595,7 +579,7 @@ func (e *Engine) ReplayAllContext(ctx context.Context, key string, capture Captu
 			// any event reaches a sink, so a corrupt spill file detected
 			// here is re-captured transparently, exactly like the
 			// verify-then-replay byte path below.
-			blocks, err := e.blocksFor(key, snap)
+			blocks, err := e.blocksFor(acct, key, snap)
 			if err != nil {
 				if err = e.retireSpill(key, snap, attempt, err); err != nil {
 					return 0, err
@@ -730,10 +714,8 @@ func (e *Engine) invalidateSpill(key, path string) {
 		ent.state = stateEmpty
 		ent.path = ""
 		ent.events = 0
-		if ent.blocks != nil {
-			e.blockBytes -= ent.blockBytes
-			ent.blocks, ent.blockBytes = nil, 0
-		}
+		ent.disk = 0
+		e.dropBlocksLocked(ent)
 		e.recaptures.Add(1)
 	}
 	e.mu.Unlock()
@@ -780,13 +762,13 @@ const (
 // the entry back to empty — later callers retry — and the failure is
 // returned wrapping ErrCaptureFailed. The caller has already moved the
 // entry to stateInflight.
-func (e *Engine) store(ent *traceEntry, capture CaptureFunc) error {
-	if e.loadFromStore(ent) {
+func (e *Engine) store(acct BudgetAccountant, ent *traceEntry, capture CaptureFunc) error {
+	if e.loadFromStore(acct, ent) {
 		return nil
 	}
 	attempts, base := e.retryPolicy()
 	for try := 0; ; try++ {
-		outcome, err := e.captureOnce(ent, capture)
+		outcome, err := e.captureOnce(acct, ent, capture)
 		switch outcome {
 		case captureStored:
 			e.putToStore(ent)
@@ -795,7 +777,7 @@ func (e *Engine) store(ent *traceEntry, capture CaptureFunc) error {
 			e.settle(ent, stateEmpty)
 			return fmt.Errorf("%w: %w", ErrCaptureFailed, err)
 		case captureNoRoom:
-			e.settleDeclined(ent)
+			e.settleDeclined(acct, ent)
 			return nil
 		}
 		if try >= attempts {
@@ -803,7 +785,7 @@ func (e *Engine) store(ent *traceEntry, capture CaptureFunc) error {
 			// Results stay byte-identical; the workload just re-runs on
 			// every replay instead of being cached.
 			e.degradedCap.Add(1)
-			e.settleDeclined(ent)
+			e.settleDeclined(acct, ent)
 			return nil
 		}
 		e.spillRetry.Add(1)
@@ -820,11 +802,12 @@ func (e *Engine) settle(ent *traceEntry, s entryState) {
 }
 
 // settleDeclined records a decline with the conditions that produced it,
-// so the entry re-arms when either improves.
-func (e *Engine) settleDeclined(ent *traceEntry) {
+// so the entry re-arms when any improves.
+func (e *Engine) settleDeclined(acct BudgetAccountant, ent *traceEntry) {
 	e.mu.Lock()
 	ent.state = stateDeclined
-	ent.declinedLimit = e.cacheLimit
+	ent.declinedAcct = acct
+	ent.declinedLimit = acct.Limit()
 	ent.declinedSpill = e.spillDir != ""
 	e.cond.Broadcast()
 	e.mu.Unlock()
@@ -837,7 +820,7 @@ func (e *Engine) settleDeclined(ent *traceEntry) {
 // through to its own capture path, whose tiers know how to stream. Any
 // store failure (absent, torn, corrupt, injected fault) is a miss: the
 // caller captures, and the put that follows heals the entry.
-func (e *Engine) loadFromStore(ent *traceEntry) bool {
+func (e *Engine) loadFromStore(acct BudgetAccountant, ent *traceEntry) bool {
 	e.mu.Lock()
 	st := e.tstore
 	e.mu.Unlock()
@@ -848,12 +831,13 @@ func (e *Engine) loadFromStore(ent *traceEntry) bool {
 	if err != nil {
 		return false
 	}
-	e.mu.Lock()
-	if e.used+e.blockBytes+e.reserved+int64(len(data)) > e.cacheLimit {
-		e.mu.Unlock()
+	n := int64(len(data))
+	if !acct.Reserve(n) {
 		return false
 	}
-	e.used += int64(len(data))
+	e.mu.Lock()
+	acct.Commit(n, n)
+	e.memBytes += n
 	ent.data = data
 	ent.events = events
 	ent.state = stateMemory
@@ -895,9 +879,9 @@ func (e *Engine) putToStore(ent *traceEntry) {
 // retry loop. On anything but captureStored the arm's resources are
 // released and the entry is left in stateInflight for the caller to
 // settle.
-func (e *Engine) captureOnce(ent *traceEntry, capture CaptureFunc) (captureOutcome, error) {
+func (e *Engine) captureOnce(acct BudgetAccountant, ent *traceEntry, capture CaptureFunc) (captureOutcome, error) {
 	e.captures.Add(1)
-	arm := &captureArm{e: e, mem: true}
+	arm := &captureArm{e: e, acct: acct, mem: true}
 	tw, err := trace.NewWriterV2(arm, false)
 	if err == nil {
 		if cerr := runCapture(capture, tw); cerr != nil {
@@ -910,8 +894,9 @@ func (e *Engine) captureOnce(ent *traceEntry, capture CaptureFunc) (captureOutco
 	if err == nil && arm.mem {
 		// The whole stream fits the memory reservation: adopt it.
 		e.mu.Lock()
-		e.reserved -= arm.reserved
-		e.used += int64(arm.buf.Len())
+		acct.Commit(arm.reserved, int64(arm.buf.Len()))
+		arm.reserved = 0
+		e.memBytes += int64(arm.buf.Len())
 		ent.data = arm.buf.Bytes()
 		ent.events = tw.Count()
 		ent.state = stateMemory
@@ -921,10 +906,15 @@ func (e *Engine) captureOnce(ent *traceEntry, capture CaptureFunc) (captureOutco
 	}
 	if err == nil && arm.f != nil {
 		if cerr := arm.seal(); cerr == nil {
+			var size int64
+			if fi, serr := os.Stat(arm.path); serr == nil {
+				size = fi.Size()
+			}
 			e.mu.Lock()
 			ent.path = arm.path
 			ent.events = tw.Count()
 			ent.state = stateDisk
+			ent.disk = size
 			e.cond.Broadcast()
 			e.mu.Unlock()
 			return captureStored, nil

@@ -35,6 +35,10 @@ var (
 	// ErrSinkPanic marks a measurement sink that panicked mid-replay;
 	// every sink fed by that replay may have observed a torn stream.
 	ErrSinkPanic = errors.New("engine: sink panicked during replay")
+	// ErrClosed marks work submitted to an engine after Close: new
+	// passes, replays, warms and ingest sessions are refused instead of
+	// racing the teardown of the spill tier.
+	ErrClosed = errors.New("engine: closed")
 )
 
 // CellError attributes one failure to the workload cell that observed

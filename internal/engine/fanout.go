@@ -333,23 +333,3 @@ func (e *Engine) deliverBlocks(ctx context.Context, blocks []traceBlock, sinks [
 	}
 	return e.emitBlocks(ctx, blocks, sinks, masks)
 }
-
-// FanoutReplays returns how many fused replays delivered through the
-// fan-out pipeline (serial fallbacks are not counted).
-func (e *Engine) FanoutReplays() uint64 { return e.fanReplays.Load() }
-
-// RingStalls returns how many fan-out block publishes had to wait for
-// the slowest consumer — sustained stalls mean one sink is the
-// bottleneck and more fan-out workers won't help.
-func (e *Engine) RingStalls() uint64 { return e.ringStalls.Load() }
-
-// DeliveredEvents returns the per-sink delivered event total: every
-// event counted once per sink that consumed it, across block replays
-// (serial and fan-out) and ingest frame delivery. This is the fan-out's
-// throughput numerator — ReplayedEvents counts each stream once,
-// DeliveredEvents counts the work of feeding it to M sinks.
-func (e *Engine) DeliveredEvents() uint64 { return e.deliveredEv.Load() }
-
-// MaskSkips returns how many (sink, block) deliveries were skipped
-// because the sink's class mask missed every event in the block.
-func (e *Engine) MaskSkips() uint64 { return e.maskSkips.Load() }

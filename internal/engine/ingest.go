@@ -127,6 +127,13 @@ func (e *Engine) NewIngest(key string, opts IngestOptions) *IngestSession {
 	if opts.SnapshotEvery > 0 {
 		s.nextSnap = opts.SnapshotEvery
 	}
+	// A closed engine accepts no new sessions: the failure is latched so
+	// the first Feed or Seal reports it, same shape as any broken session.
+	e.mu.Lock()
+	if e.closed {
+		s.err = fmt.Errorf("%w: %w", ErrIngestBroken, ErrClosed)
+	}
+	e.mu.Unlock()
 	return s
 }
 
@@ -186,6 +193,7 @@ func (s *IngestSession) Feed(p []byte) error {
 			s.raw = append(s.raw, p...)
 		}
 	}
+	s.e.ingestBytes.Add(uint64(len(p)))
 	s.dec.Feed(p)
 	return s.drain()
 }
@@ -310,6 +318,9 @@ func (s *IngestSession) Seal() (IngestResult, error) {
 func (e *Engine) adoptIngest(key string, data []byte, events uint64) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
 	ent, ok := e.traces[key]
 	if !ok {
 		ent = &traceEntry{key: key}
@@ -318,10 +329,12 @@ func (e *Engine) adoptIngest(key string, data []byte, events uint64) bool {
 	if ent.state != stateEmpty && ent.state != stateDeclined {
 		return false
 	}
-	if e.used+e.blockBytes+e.reserved+int64(len(data)) > e.cacheLimit {
+	n := int64(len(data))
+	if !e.budget.Reserve(n) {
 		return false
 	}
-	e.used += int64(len(data))
+	e.budget.Commit(n, n)
+	e.memBytes += n
 	ent.data = data
 	ent.events = events
 	ent.state = stateMemory
@@ -346,12 +359,3 @@ func (e *Engine) publishIngest(key string, data []byte) bool {
 	e.storePuts.Add(1)
 	return true
 }
-
-// IngestedFrames returns the frames delivered by live ingest sessions.
-func (e *Engine) IngestedFrames() uint64 { return e.ingestFrames.Load() }
-
-// IngestedEvents returns the events delivered by live ingest sessions.
-func (e *Engine) IngestedEvents() uint64 { return e.ingestEvents.Load() }
-
-// SealedIngests returns how many ingest sessions sealed cleanly.
-func (e *Engine) SealedIngests() uint64 { return e.sealedIngests.Load() }

@@ -91,6 +91,10 @@ func (e *Engine) RunPass(subs []Subscription) error {
 // inconsistent subscription orders) — failures of the pass's shape, not
 // of any one cell.
 func (e *Engine) RunPassContext(ctx context.Context, subs []Subscription) (*PassReport, error) {
+	if err := e.begin(); err != nil {
+		return nil, err
+	}
+	defer e.end()
 	ids := make(map[string]int)
 	var nodes []*passNode
 	nodeOf := func(w PassWorkload) (int, error) {
@@ -173,7 +177,7 @@ func (e *Engine) RunPassContext(ctx context.Context, subs []Subscription) (*Pass
 	// succeed outright if the fault was transient.
 	e.Map(len(nodes), func(i int) {
 		if ctx.Err() == nil {
-			_ = e.Warm(nodes[i].key, nodes[i].capture)
+			_ = e.WarmContext(ctx, nodes[i].key, nodes[i].capture)
 		}
 	})
 

@@ -36,8 +36,8 @@ func sweepSpillOrphans(dir string) {
 // byte stream in whichever tier has room, deciding mid-stream:
 //
 //   - While the memory tier is viable, every chunk reserves its size
-//     against the engine budget under the cache lock *before* it is
-//     buffered, so used+reserved never exceeds the limit — concurrent
+//     against the capture's BudgetAccountant *before* it is buffered,
+//     so used+reserved never exceeds the limit — concurrent
 //     captures share the budget instead of each transiently buffering
 //     up to the whole remainder. (The encoder's internal frame buffer
 //     is the reservation granularity: at most one ~64 KiB frame per
@@ -56,9 +56,10 @@ func sweepSpillOrphans(dir string) {
 // and retries the capture under the engine's retry policy.
 type captureArm struct {
 	e        *Engine
-	mem      bool // memory tier still viable
+	acct     BudgetAccountant // the budget this capture reserves against
+	mem      bool             // memory tier still viable
 	buf      bytes.Buffer
-	reserved int64 // bytes this arm holds of Engine.reserved
+	reserved int64 // bytes this arm holds reserved in acct
 	f        *os.File
 	path     string
 }
@@ -83,16 +84,12 @@ func (a *captureArm) Write(p []byte) (int, error) {
 	return a.f.Write(p)
 }
 
-// reserve takes n bytes of the engine budget, failing without side
+// reserve takes n bytes of the capture's budget, failing without side
 // effects when the budget cannot cover it.
 func (a *captureArm) reserve(n int64) bool {
-	e := a.e
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.used+e.blockBytes+e.reserved+n > e.cacheLimit {
+	if !a.acct.Reserve(n) {
 		return false
 	}
-	e.reserved += n
 	a.reserved += n
 	return true
 }
@@ -102,10 +99,7 @@ func (a *captureArm) release() {
 	if a.reserved == 0 {
 		return
 	}
-	e := a.e
-	e.mu.Lock()
-	e.reserved -= a.reserved
-	e.mu.Unlock()
+	a.acct.Release(a.reserved, 0)
 	a.reserved = 0
 }
 

@@ -106,11 +106,9 @@ func TestConcurrentStoresNeverExceedBudget(t *testing.T) {
 
 	var violated atomic.Bool
 	check := func() {
-		e.mu.Lock()
-		if e.used+e.reserved > limit {
+		if e.budget.Used()+e.budget.Reserved() > limit {
 			violated.Store(true)
 		}
-		e.mu.Unlock()
 	}
 
 	const keys = 6
@@ -147,10 +145,7 @@ func TestConcurrentStoresNeverExceedBudget(t *testing.T) {
 	if e.CachedTraces() != 1 {
 		t.Fatalf("budget fits exactly one capture, stored %d", e.CachedTraces())
 	}
-	e.mu.Lock()
-	reserved := e.reserved
-	e.mu.Unlock()
-	if reserved != 0 {
+	if reserved := e.budget.Reserved(); reserved != 0 {
 		t.Fatalf("%d bytes still reserved after all stores settled", reserved)
 	}
 }

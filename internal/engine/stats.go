@@ -1,0 +1,323 @@
+package engine
+
+// The engine's observability layer. Historically every counter grew its
+// own getter, which meant N lock round-trips for one report and a getter
+// sprawl no front-end could serialize. Stats flattens the whole picture
+// into one snapshot struct — counters loaded atomically, cache-shape
+// fields read under one acquisition of the cache lock — that marshals
+// directly to JSON (flat, snake_case, CSV-friendly). The per-counter
+// getters survive as thin wrappers over the snapshot so no call site
+// breaks; new code should take one Stats() and read fields.
+//
+// Tiers() is the structural companion: each cache layer — memory,
+// decoded blocks, spill files, the persistent store — presented through
+// the narrow Tier interface (name, entry count, resident bytes), which
+// is how the service front-end and the CLI describe the cache without
+// reaching into engine internals.
+
+// Stats is a point-in-time snapshot of every engine counter and
+// cache-shape figure. Counter fields are monotonic; shape fields
+// (cached/spilled/decoded, budget) describe the instant of the call.
+type Stats struct {
+	Workers int `json:"workers"`
+	FanOut  int `json:"fanout"`
+
+	// Capture/replay pipeline.
+	Captures         uint64 `json:"captures"`
+	Replays          uint64 `json:"replays"`
+	Recaptures       uint64 `json:"recaptures"`
+	DecodeOnceHits   uint64 `json:"decode_once_hits"`
+	ReplayedEvents   uint64 `json:"replayed_events"`
+	SpillRetries     uint64 `json:"spill_retries"`
+	DegradedCaptures uint64 `json:"degraded_captures"`
+	StoreHits        uint64 `json:"store_hits"`
+	StorePuts        uint64 `json:"store_puts"`
+
+	// Fan-out delivery.
+	FanoutReplays   uint64 `json:"fanout_replays"`
+	RingStalls      uint64 `json:"ring_stalls"`
+	DeliveredEvents uint64 `json:"delivered_events"`
+	MaskSkips       uint64 `json:"mask_skips"`
+
+	// Live ingest.
+	IngestedFrames uint64 `json:"ingested_frames"`
+	IngestedEvents uint64 `json:"ingested_events"`
+	IngestedBytes  uint64 `json:"ingested_bytes"`
+	SealedIngests  uint64 `json:"sealed_ingests"`
+
+	// Cache shape.
+	CachedTraces      int   `json:"cached_traces"`
+	SpilledTraces     int   `json:"spilled_traces"`
+	CachedBytes       int64 `json:"cached_bytes"`
+	DecodedEntries    int   `json:"decoded_entries"`
+	DecodedBlockBytes int64 `json:"decoded_block_bytes"`
+
+	// Root budget.
+	BudgetLimit    int64 `json:"budget_limit"`
+	BudgetUsed     int64 `json:"budget_used"`
+	BudgetReserved int64 `json:"budget_reserved"`
+}
+
+// Stats snapshots the engine. Atomic counters are loaded individually
+// and the cache shape is read under one acquisition of the cache lock,
+// so the snapshot is consistent within each group; a snapshot taken
+// while work is in flight is a valid point-in-time view, not a fence.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:          e.workers,
+		Captures:         e.captures.Load(),
+		Replays:          e.replays.Load(),
+		Recaptures:       e.recaptures.Load(),
+		DecodeOnceHits:   e.decodeHits.Load(),
+		ReplayedEvents:   e.replayedEv.Load(),
+		SpillRetries:     e.spillRetry.Load(),
+		DegradedCaptures: e.degradedCap.Load(),
+		StoreHits:        e.storeHits.Load(),
+		StorePuts:        e.storePuts.Load(),
+		FanoutReplays:    e.fanReplays.Load(),
+		RingStalls:       e.ringStalls.Load(),
+		DeliveredEvents:  e.deliveredEv.Load(),
+		MaskSkips:        e.maskSkips.Load(),
+		IngestedFrames:   e.ingestFrames.Load(),
+		IngestedEvents:   e.ingestEvents.Load(),
+		IngestedBytes:    e.ingestBytes.Load(),
+		SealedIngests:    e.sealedIngests.Load(),
+	}
+	e.mu.Lock()
+	s.FanOut = e.fanWorkers
+	s.CachedBytes = e.memBytes
+	s.DecodedBlockBytes = e.blockBytes
+	for _, ent := range e.traces {
+		switch ent.state {
+		case stateMemory:
+			s.CachedTraces++
+		case stateDisk:
+			s.SpilledTraces++
+		}
+		if ent.blocks != nil {
+			s.DecodedEntries++
+		}
+	}
+	e.mu.Unlock()
+	s.BudgetLimit = e.budget.Limit()
+	s.BudgetUsed = e.budget.Used()
+	s.BudgetReserved = e.budget.Reserved()
+	return s
+}
+
+// Tier is the narrow read-only view of one cache layer: what it is, how
+// many entries it holds, and how many bytes they occupy.
+type Tier interface {
+	// Name identifies the layer ("memory", "blocks", "spill", "store").
+	Name() string
+	// Entries returns the number of entries resident in the layer.
+	Entries() int
+	// Bytes returns the bytes those entries occupy (encoded bytes for
+	// memory and spill, decoded cost for blocks, on-disk size for store).
+	Bytes() int64
+}
+
+// TierStats is the serializable form of one Tier's view.
+type TierStats struct {
+	Name    string `json:"name"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// Tiers returns the engine's cache layers, outermost first: the memory
+// tier (encoded v2 bytes), the decoded-block tier, the disk spill tier,
+// and — when a persistent store is attached — the store tier.
+func (e *Engine) Tiers() []Tier {
+	tiers := []Tier{memoryTier{e}, blockTier{e}, spillTier{e}}
+	if e.Store() != nil {
+		tiers = append(tiers, storeTier{e})
+	}
+	return tiers
+}
+
+// TierStats snapshots every tier of Tiers into serializable form.
+func (e *Engine) TierStats() []TierStats {
+	tiers := e.Tiers()
+	out := make([]TierStats, len(tiers))
+	for i, t := range tiers {
+		out[i] = TierStats{Name: t.Name(), Entries: t.Entries(), Bytes: t.Bytes()}
+	}
+	return out
+}
+
+// countTier tallies entries matching keep and sums bytes via cost, under
+// one acquisition of the cache lock — the shared body of the in-process
+// tier views.
+func (e *Engine) countTier(keep func(*traceEntry) bool, cost func(*traceEntry) int64) (int, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var n int
+	var b int64
+	for _, ent := range e.traces {
+		if keep(ent) {
+			n++
+			b += cost(ent)
+		}
+	}
+	return n, b
+}
+
+// memoryTier views the encoded in-memory trace cache as a Tier.
+type memoryTier struct{ e *Engine }
+
+func (t memoryTier) Name() string { return "memory" }
+func (t memoryTier) Entries() int {
+	n, _ := t.e.countTier(
+		func(ent *traceEntry) bool { return ent.state == stateMemory },
+		func(ent *traceEntry) int64 { return int64(len(ent.data)) })
+	return n
+}
+func (t memoryTier) Bytes() int64 {
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	return t.e.memBytes
+}
+
+// blockTier views the decoded-block cache as a Tier.
+type blockTier struct{ e *Engine }
+
+func (t blockTier) Name() string { return "blocks" }
+func (t blockTier) Entries() int {
+	n, _ := t.e.countTier(
+		func(ent *traceEntry) bool { return ent.blocks != nil },
+		func(ent *traceEntry) int64 { return ent.blockBytes })
+	return n
+}
+func (t blockTier) Bytes() int64 {
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	return t.e.blockBytes
+}
+
+// spillTier views the disk spill files as a Tier.
+type spillTier struct{ e *Engine }
+
+func (t spillTier) Name() string { return "spill" }
+func (t spillTier) Entries() int {
+	n, _ := t.spilled()
+	return n
+}
+func (t spillTier) Bytes() int64 {
+	_, b := t.spilled()
+	return b
+}
+func (t spillTier) spilled() (int, int64) {
+	return t.e.countTier(
+		func(ent *traceEntry) bool { return ent.state == stateDisk },
+		func(ent *traceEntry) int64 { return ent.disk })
+}
+
+// storeTier views the attached persistent trace store as a Tier. Store
+// I/O failures read as an empty tier — the store is an accelerator, and
+// its stats follow the same can't-hurt contract as its entries.
+type storeTier struct{ e *Engine }
+
+func (t storeTier) Name() string { return "store" }
+func (t storeTier) Entries() int {
+	st := t.e.Store()
+	if st == nil {
+		return 0
+	}
+	n, _ := st.Len()
+	return n
+}
+func (t storeTier) Bytes() int64 {
+	st := t.e.Store()
+	if st == nil {
+		return 0
+	}
+	b, _ := st.Bytes()
+	return b
+}
+
+// The legacy per-counter getters, kept as thin wrappers over Stats so no
+// call site breaks. New code should snapshot once with Stats().
+
+// CachedTraces returns the number of captures held in the memory tier.
+func (e *Engine) CachedTraces() int { return e.Stats().CachedTraces }
+
+// SpilledTraces returns the number of captures held in the disk tier.
+func (e *Engine) SpilledTraces() int { return e.Stats().SpilledTraces }
+
+// CachedBytes returns the encoded size of all memory-tier captures.
+func (e *Engine) CachedBytes() int64 { return e.Stats().CachedBytes }
+
+// DecodedEntries returns the number of cache entries holding decoded
+// blocks.
+func (e *Engine) DecodedEntries() int { return e.Stats().DecodedEntries }
+
+// DecodedBlockBytes returns the budget bytes held by the decoded-block
+// tier across all entries.
+func (e *Engine) DecodedBlockBytes() int64 { return e.Stats().DecodedBlockBytes }
+
+// Captures returns how many workload executions the engine has performed
+// (cache misses plus declined-to-store re-runs).
+func (e *Engine) Captures() uint64 { return e.captures.Load() }
+
+// Replays returns how many cache replays the engine has served, from
+// either tier.
+func (e *Engine) Replays() uint64 { return e.replays.Load() }
+
+// Recaptures returns how many spill files failed checksum verification
+// and were invalidated for transparent re-capture.
+func (e *Engine) Recaptures() uint64 { return e.recaptures.Load() }
+
+// DecodeOnceHits returns how many cache replays were served from shared
+// decoded blocks rather than by re-decoding encoded bytes.
+func (e *Engine) DecodeOnceHits() uint64 { return e.decodeHits.Load() }
+
+// ReplayedEvents returns the total events delivered by cache replays
+// (fused replays count their stream once, not once per sink).
+func (e *Engine) ReplayedEvents() uint64 { return e.replayedEv.Load() }
+
+// SpillRetries returns how many spill I/O operations were retried after
+// a transient failure.
+func (e *Engine) SpillRetries() uint64 { return e.spillRetry.Load() }
+
+// DegradedCaptures returns how many captures were degraded to direct
+// re-execution because their spill I/O kept failing after the bounded
+// retries. A degraded workload still produces byte-identical results —
+// it just re-executes on every replay instead of being cached.
+func (e *Engine) DegradedCaptures() uint64 { return e.degradedCap.Load() }
+
+// StoreHits returns how many cache entries were settled from the
+// persistent trace store instead of executing their workload.
+func (e *Engine) StoreHits() uint64 { return e.storeHits.Load() }
+
+// StorePuts returns how many fresh captures were published to the
+// persistent trace store.
+func (e *Engine) StorePuts() uint64 { return e.storePuts.Load() }
+
+// FanoutReplays returns how many fused replays delivered through the
+// fan-out pipeline (serial fallbacks are not counted).
+func (e *Engine) FanoutReplays() uint64 { return e.fanReplays.Load() }
+
+// RingStalls returns how many fan-out block publishes had to wait for
+// the slowest consumer — sustained stalls mean one sink is the
+// bottleneck and more fan-out workers won't help.
+func (e *Engine) RingStalls() uint64 { return e.ringStalls.Load() }
+
+// DeliveredEvents returns the per-sink delivered event total: every
+// event counted once per sink that consumed it, across block replays
+// (serial and fan-out) and ingest frame delivery. This is the fan-out's
+// throughput numerator — ReplayedEvents counts each stream once,
+// DeliveredEvents counts the work of feeding it to M sinks.
+func (e *Engine) DeliveredEvents() uint64 { return e.deliveredEv.Load() }
+
+// MaskSkips returns how many (sink, block) deliveries were skipped
+// because the sink's class mask missed every event in the block.
+func (e *Engine) MaskSkips() uint64 { return e.maskSkips.Load() }
+
+// IngestedFrames returns the frames delivered by live ingest sessions.
+func (e *Engine) IngestedFrames() uint64 { return e.ingestFrames.Load() }
+
+// IngestedEvents returns the events delivered by live ingest sessions.
+func (e *Engine) IngestedEvents() uint64 { return e.ingestEvents.Load() }
+
+// SealedIngests returns how many ingest sessions sealed cleanly.
+func (e *Engine) SealedIngests() uint64 { return e.sealedIngests.Load() }

@@ -47,6 +47,32 @@ const (
 	Full
 )
 
+// ParseScale resolves the CLI and service spelling of a scale ("tiny",
+// "quick", "full"; "" selects Quick, the interactive default).
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "quick", "":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (have tiny, quick, full)", s)
+}
+
+// String returns the parseable spelling of the scale.
+func (s Scale) String() string {
+	switch s {
+	case Full:
+		return "full"
+	case Quick:
+		return "quick"
+	default:
+		return "tiny"
+	}
+}
+
 // maxDim returns the per-side bound.
 func (s Scale) maxDim() int {
 	switch s {

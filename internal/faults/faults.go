@@ -98,6 +98,18 @@ const (
 	// StoreRename fires before a sealed store temp file is renamed to
 	// its content-addressed name.
 	StoreRename = "store.rename"
+	// ServiceAdmit fires when the service front-end is about to admit a
+	// run request. Error mode rejects the request as the admission
+	// controller would under overload (HTTP 429).
+	ServiceAdmit = "service.admit"
+	// ServiceRun fires when an admitted run is about to execute on the
+	// shared engine. Error mode fails the request (HTTP 500); every
+	// coalesced follower of the run observes the same failure.
+	ServiceRun = "service.run"
+	// ServiceRender fires when a completed run's results are about to be
+	// rendered for the HTTP response. Error mode fails rendering for
+	// that request alone (HTTP 500) — the run's cache effects remain.
+	ServiceRender = "service.render"
 )
 
 // Points returns the injection-point catalog, sorted.
@@ -107,6 +119,7 @@ func Points() []string {
 		FrameCRC, BlockDecode, SinkEmit, FanoutPublish, FanoutConsume,
 		IngestFeed, IngestFrame, IngestSeal,
 		StoreRead, StoreWrite, StoreRename,
+		ServiceAdmit, ServiceRun, ServiceRender,
 	}
 	sort.Strings(pts)
 	return pts

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -324,4 +325,27 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 // machine-readable sibling of Text.
 func JSON(r *Result) ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// JSONArray renders a selection's results as the JSON array `memosim
+// -json` prints: one JSON-rendered result per line group, comma-joined,
+// wrapped in brackets. The byte layout is pinned — the service
+// front-end serves these bytes and CI diffs them against the offline
+// CLI, so any change here is a format break, not a cleanup.
+func JSONArray(results []*Result) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString("[\n")
+	for i, r := range results {
+		buf, err := JSON(r)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(buf)
+		if i != len(results)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("]\n")
+	return b.Bytes(), nil
 }

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"memotable/internal/engine"
+	"memotable/internal/experiments"
+	"memotable/internal/report"
+)
+
+// waitUntil polls cond for up to 5s — the synchronization tests use it
+// to observe counters that goroutines advance.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionMaxWait(t *testing.T) {
+	svc := New(engine.New(1), Config{MaxInflight: 1, MaxQueue: 1, MaxWait: 30 * time.Millisecond})
+	defer svc.Close()
+	svc.sem <- struct{}{} // occupy the only slot
+
+	start := time.Now()
+	_, _, err := svc.Session("a").Run(context.Background(), experiments.Tiny, "table1")
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("run with no free slot: %v, want ErrAdmission", err)
+	}
+	if waited := time.Since(start); waited < 30*time.Millisecond {
+		t.Fatalf("rejected after %v, before the max wait", waited)
+	}
+	if st := svc.Stats(); st.Rejected != 1 || st.Admitted != 0 {
+		t.Fatalf("stats %+v, want 1 rejection and no admission", st)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	svc := New(engine.New(1), Config{MaxInflight: 1, MaxQueue: 1, MaxWait: 5 * time.Second})
+	defer svc.Close()
+	svc.sem <- struct{}{} // occupy the only slot
+
+	// First request queues for the slot...
+	firstDone := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Session("a").Run(context.Background(), experiments.Tiny, "table1")
+		firstDone <- err
+	}()
+	waitUntil(t, "first request to queue", func() bool { return svc.queued.Load() == 1 })
+
+	// ...so a second (distinct) selection overflows the queue instantly.
+	_, _, err := svc.Session("b").Run(context.Background(), experiments.Tiny, "table5")
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("run with a full queue: %v, want ErrAdmission", err)
+	}
+
+	// Freeing the slot lets the queued request through.
+	<-svc.sem
+	if err := <-firstDone; err != nil {
+		t.Fatalf("queued request after slot freed: %v", err)
+	}
+}
+
+func TestRequestCancellationWhileQueued(t *testing.T) {
+	svc := New(engine.New(1), Config{MaxInflight: 1, MaxQueue: 2, MaxWait: 5 * time.Second})
+	defer svc.Close()
+	svc.sem <- struct{}{}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := svc.Session("a").Run(ctx, experiments.Tiny, "table1")
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("canceled queued request: %v, want engine.ErrCanceled", err)
+	}
+}
+
+// TestCoalescing holds a run at its starting line until an identical
+// selection from a second tenant arrives: both must share one engine
+// pass and return byte-identical results.
+func TestCoalescing(t *testing.T) {
+	eng := engine.New(2)
+	svc := New(eng, Config{MaxInflight: 2})
+	defer svc.Close()
+
+	gate := make(chan struct{})
+	svc.beforeRun = func(string) { <-gate }
+
+	type outcome struct {
+		results []*report.Result
+		err     error
+	}
+	run := func(tenant string, out chan<- outcome) {
+		results, _, err := svc.Session(tenant).Run(context.Background(), experiments.Tiny, "figure4")
+		out <- outcome{results, err}
+	}
+	aDone := make(chan outcome, 1)
+	go run("alice", aDone)
+	waitUntil(t, "leader to register", func() bool { return svc.Stats().RunsStarted == 1 })
+
+	bDone := make(chan outcome, 1)
+	go run("bob", bDone)
+	waitUntil(t, "follower to join", func() bool { return svc.Stats().RunsCoalesced == 1 })
+	close(gate)
+
+	a, b := <-aDone, <-bDone
+	if a.err != nil || b.err != nil {
+		t.Fatalf("coalesced runs errored: %v / %v", a.err, b.err)
+	}
+	aj, err := report.JSONArray(a.results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := report.JSONArray(b.results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("coalesced requests returned different bytes")
+	}
+	st := svc.Stats()
+	if st.RunsStarted != 1 || st.RunsCoalesced != 1 || st.Requests != 2 || st.Admitted != 1 {
+		t.Fatalf("stats %+v, want 2 requests sharing 1 started run", st)
+	}
+	if st.Tenants != 2 {
+		t.Fatalf("tenants %d, want 2", st.Tenants)
+	}
+}
+
+// TestTenantBudgetDegradation: a tenant whose budget is exhausted gets
+// byte-identical results (its workloads degrade to direct re-execution)
+// and leaves nothing in the shared cache; a healthy tenant's caching is
+// untouched before and after.
+func TestTenantBudgetDegradation(t *testing.T) {
+	eng := engine.New(2)
+	svc := New(eng, Config{MaxInflight: 2})
+	defer svc.Close()
+
+	starved := svc.Session("starved")
+	starved.Budget().SetLimit(1)
+
+	sr, srep, err := starved.Run(context.Background(), experiments.Tiny, "figure4")
+	if err != nil {
+		t.Fatalf("starved run: %v", err)
+	}
+	if len(srep.Errors) > 0 {
+		t.Fatalf("starved run degraded cells: %v", srep.Errors)
+	}
+	if got := eng.Stats().CachedTraces; got != 0 {
+		t.Fatalf("starved tenant cached %d traces past its budget", got)
+	}
+	if used := starved.Budget().Used(); used != 0 {
+		t.Fatalf("starved tenant holds %d bytes", used)
+	}
+
+	healthy := svc.Session("healthy")
+	hr, _, err := healthy.Run(context.Background(), experiments.Tiny, "figure4")
+	if err != nil {
+		t.Fatalf("healthy run: %v", err)
+	}
+	cached := eng.Stats().CachedTraces
+	if cached == 0 {
+		t.Fatal("healthy tenant cached nothing")
+	}
+
+	sj, err := report.JSONArray(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj, err := report.JSONArray(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, hj) {
+		t.Fatal("degraded tenant's results differ from the cached tenant's")
+	}
+
+	// A further starved run must not evict the healthy tenant's entries.
+	if _, _, err := starved.Run(context.Background(), experiments.Tiny, "figure4"); err != nil {
+		t.Fatalf("second starved run: %v", err)
+	}
+	if got := eng.Stats().CachedTraces; got != cached {
+		t.Fatalf("starved tenant disturbed the cache: %d entries, was %d", got, cached)
+	}
+}
+
+func TestRunAfterCloseRefused(t *testing.T) {
+	svc := New(engine.New(1), Config{})
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := svc.Session("a").Run(context.Background(), experiments.Tiny, "table1")
+	if !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("run after Close: %v, want engine.ErrClosed", err)
+	}
+}

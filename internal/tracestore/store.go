@@ -221,3 +221,20 @@ func (s *Store) Len() (int, error) {
 	}
 	return len(entries), nil
 }
+
+// Bytes returns the on-disk size of the current format generation's
+// entries (seal trailers included). An entry that vanishes mid-walk — a
+// concurrent writer renaming over it — is simply skipped.
+func (s *Store) Bytes() (int64, error) {
+	entries, err := filepath.Glob(filepath.Join(s.dir, fmt.Sprintf("t-*.v%d.mtrc", trace.VersionV2)))
+	if err != nil {
+		return 0, fmt.Errorf("tracestore: %w", err)
+	}
+	var total int64
+	for _, p := range entries {
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total, nil
+}

@@ -34,6 +34,7 @@ import (
 	"memotable/internal/memo"
 	"memotable/internal/probe"
 	"memotable/internal/report"
+	"memotable/internal/service"
 	"memotable/internal/trace"
 	"memotable/internal/tracestore"
 )
@@ -339,3 +340,72 @@ func RunExperimentWith(eng *Engine, name string, scale Scale) (string, error) {
 	}
 	return report.Text(results[0]), nil
 }
+
+// ParseScale resolves the CLI and service spelling of a scale ("tiny",
+// "quick", "full"; "" selects Quick).
+func ParseScale(s string) (Scale, error) { return experiments.ParseScale(s) }
+
+// RenderJSONArray renders a selection's results as the JSON array
+// `memosim -json` prints — the byte layout the HTTP front-end serves
+// and CI diffs against offline output.
+func RenderJSONArray(results []*Result) ([]byte, error) { return report.JSONArray(results) }
+
+// EngineStats is the flat snapshot of every engine counter and
+// cache-shape figure (Engine.Stats). The name leaves Stats for the
+// MEMO-TABLE hit counters, which carried it first.
+type EngineStats = engine.Stats
+
+// EngineTier is the narrow read-only view of one engine cache layer
+// (Engine.Tiers): its name, entry count, and resident bytes.
+type EngineTier = engine.Tier
+
+// TierStats is the serializable form of one tier's view
+// (Engine.TierStats).
+type TierStats = engine.TierStats
+
+// Budget is a hierarchical byte-budget accountant. The engine's root
+// budget (Engine.Budget) bounds its whole trace cache; children
+// (Budget.Child) nest tenant slices under it, so a tenant exhausting
+// its slice degrades only its own workloads.
+type Budget = engine.Budget
+
+// BudgetAccountant is the reserve/commit/release seam the engine's
+// cache tiers charge through.
+type BudgetAccountant = engine.BudgetAccountant
+
+// NewBudget builds a standalone root budget of limit bytes.
+func NewBudget(limit int64) *Budget { return engine.NewBudget(limit) }
+
+// WithBudget returns a context carrying a budget accountant; engine
+// passes run under it charge their captures and decoded blocks to that
+// accountant instead of the engine's root budget.
+func WithBudget(ctx context.Context, acct BudgetAccountant) context.Context {
+	return engine.WithBudget(ctx, acct)
+}
+
+// ErrClosed marks work submitted to an engine after Close.
+var ErrClosed = engine.ErrClosed
+
+// Service is the multi-tenant front-end over one shared engine: per-
+// tenant sessions with nested byte budgets, admission control, and
+// coalescing of identical concurrent selections. Serve it over HTTP
+// with Service.Handler (the `memosim -serve` daemon).
+type Service = service.Service
+
+// ServiceConfig shapes a Service (admission bounds, tenant budgets,
+// run timeout); zero values select defaults.
+type ServiceConfig = service.Config
+
+// ServiceSession is one tenant's handle on a Service.
+type ServiceSession = service.Session
+
+// ServiceStats is a snapshot of a Service's request flow.
+type ServiceStats = service.Stats
+
+// NewService builds a Service over an engine the caller configured;
+// the Service owns the engine from here (Service.Close closes it).
+func NewService(eng *Engine, cfg ServiceConfig) *Service { return service.New(eng, cfg) }
+
+// ErrAdmission marks a request refused by the service's admission
+// control: queue full, or no engine slot freed within the max wait.
+var ErrAdmission = service.ErrAdmission
