@@ -8,12 +8,25 @@
 //	memosim [-scale tiny|quick|full] [-run all|table5,table6,...|figure4]
 //	        [-json] [-parallel N] [-fanout N] [-tracedir DIR] [-store DIR]
 //	        [-timeout D] [-keep-going] [-faults SPEC]
+//	        [-shards N] [-shard-timeout D] [-shard-retries R]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	memosim -ingest trace.mtrc
 //
 // A -run selection is executed as one planned pass: every workload the
 // selected experiments demand is captured once and replayed once,
 // feeding all their measurement sinks together.
+//
+// -shards N runs the same selection as a supervised fleet: the
+// selection is dealt round-robin into N shards, each executed by a
+// `memosim -worker -shard i/N` subprocess whose output carries a
+// provenance chain (trace fingerprints + rendered result bytes under a
+// Merkle root). The coordinator recomputes every root before merging;
+// output that fails verification is rejected and retried, and a shard
+// that exhausts its retries degrades only its own cells. Merged output
+// is byte-identical to the single-process run, plus one trailing
+// provenance line in -json mode. Workers exit 0 (clean manifest), 3
+// (manifest with degraded cells), 2 (usage/planning error) or 1
+// (internal failure); the coordinator only trusts 0 and 3.
 //
 // -ingest is the offline comparator for live ingestion: it feeds a v2
 // trace file through the same incremental decode path and LiveBank
@@ -73,6 +86,16 @@ func run() int {
 		"with -serve: per-tenant trace-cache byte budget, nested under the engine's global limit (0 gives every tenant the global limit)")
 	fanoutFlag := flag.Int("fanout", 0,
 		"fan-out replay budget: delivery goroutines shared by all concurrently replaying cells; 0 matches the worker count, 1 forces serial delivery")
+	shardsFlag := flag.Int("shards", 0,
+		"run the selection as a supervised fleet of this many worker processes; merged output is byte-identical to a single-process run plus a trailing provenance line (0 = single process)")
+	workerFlag := flag.Bool("worker", false,
+		"fleet worker mode (spawned by -shards): run the -shard slice of the selection and emit a provenance-chained shard manifest on stdout")
+	shardFlag := flag.String("shard", "",
+		"with -worker: this worker's shard assignment as i/N")
+	shardTimeoutFlag := flag.Duration("shard-timeout", 5*time.Minute,
+		"with -shards: wall-clock budget per shard attempt; a worker that overruns is killed and the shard retried (0 = no limit)")
+	shardRetriesFlag := flag.Int("shard-retries", 2,
+		"with -shards: extra attempts a failed shard gets, each on a fresh worker with full-jitter backoff")
 	cpuProfileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfileFlag := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -150,6 +173,28 @@ func run() int {
 		}
 	}
 
+	// Fleet coordinator mode: no engine of its own — the selection runs
+	// in supervised worker subprocesses, each with its own engine, and
+	// the coordinator only splices their verified bytes.
+	if *shardsFlag > 0 && !*workerFlag {
+		return runFleet(fleetOpts{
+			shards:       *shardsFlag,
+			scale:        scale,
+			names:        names,
+			jsonOut:      *jsonFlag,
+			keepGoing:    *keepGoingFlag,
+			timeout:      *timeoutFlag,
+			shardTimeout: *shardTimeoutFlag,
+			retries:      *shardRetriesFlag,
+			retryBase:    50 * time.Millisecond,
+			parallel:     *parallelFlag,
+			fanout:       *fanoutFlag,
+			traceDir:     *traceDirFlag,
+			store:        *storeFlag,
+			faults:       spec,
+		})
+	}
+
 	// One engine for the whole invocation: its trace cache makes workloads
 	// shared between experiments run once per process, and its worker pool
 	// fans each experiment's cells across -parallel goroutines. Output is
@@ -171,6 +216,12 @@ func run() int {
 		eng.SetStore(st)
 	}
 	defer func() { _ = eng.Close() }()
+
+	// Fleet worker mode: run this process's shard slice and emit a
+	// provenance-chained manifest for the coordinator to verify.
+	if *workerFlag {
+		return runWorker(eng, scale, names, *shardFlag)
+	}
 
 	// Service mode: the same engine, shared by many tenants over HTTP.
 	// The run-shaping flags (-scale, -run) don't apply — each request

@@ -1,5 +1,7 @@
 package engine
 
+import "sort"
+
 // The engine's observability layer. Historically every counter grew its
 // own getter, which meant N lock round-trips for one report and a getter
 // sprawl no front-end could serialize. Stats flattens the whole picture
@@ -103,6 +105,24 @@ func (e *Engine) Stats() Stats {
 	s.BudgetUsed = e.budget.Used()
 	s.BudgetReserved = e.budget.Reserved()
 	return s
+}
+
+// TraceFingerprints returns the sorted workload fingerprints of every
+// settled cache entry (memory or disk tier). This is what a fleet
+// worker's provenance chain binds its run to: the exact set of traces
+// the shard captured or adopted, independent of which tier holds them
+// or whether they came warm from the store.
+func (e *Engine) TraceFingerprints() []string {
+	e.mu.Lock()
+	keys := make([]string, 0, len(e.traces))
+	for k, ent := range e.traces {
+		if ent.state == stateMemory || ent.state == stateDisk {
+			keys = append(keys, k)
+		}
+	}
+	e.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Tier is the narrow read-only view of one cache layer: what it is, how

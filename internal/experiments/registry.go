@@ -239,6 +239,49 @@ func Lookup(names ...string) ([]Experiment, error) {
 	return exps, nil
 }
 
+// Resolve validates a selection and returns its experiment names in
+// selection order; no names resolves to the whole registry in Names()
+// order. This is the canonical order sharding and merging agree on:
+// the fleet coordinator splits Resolve's output, and the merged result
+// list comes back in exactly this order.
+func Resolve(names ...string) ([]string, error) {
+	exps, err := Lookup(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.Name
+	}
+	return out, nil
+}
+
+// ShardSelection deals a resolved selection into n round-robin shards:
+// shard i gets names[i], names[i+n], ... in selection order. The split
+// is a pure function of (names, n) — both sides of a distributed run
+// recompute it independently and must agree — and it never produces an
+// empty shard, because callers clamp n to len(names) first (ShardCount
+// does exactly that).
+func ShardSelection(names []string, n int) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]string, n)
+	for i, name := range names {
+		shards[i%n] = append(shards[i%n], name)
+	}
+	return shards
+}
+
+// ShardCount clamps a requested shard count to the selection size, so
+// every shard has at least one experiment to run.
+func ShardCount(requested, selection int) int {
+	if requested > selection {
+		return selection
+	}
+	return requested
+}
+
 // Run executes a selection of experiments (all of them when names is
 // empty) as one planned pass: plan serially, capture and replay every
 // demanded workload exactly once across the whole selection, then

@@ -110,6 +110,18 @@ const (
 	// rendered for the HTTP response. Error mode fails rendering for
 	// that request alone (HTTP 500) — the run's cache effects remain.
 	ServiceRender = "service.render"
+	// FleetSpawn fires when the fleet coordinator is about to launch a
+	// worker process for a shard attempt. Error mode fails the attempt
+	// as an exec failure would; the shard's bounded retry covers it.
+	FleetSpawn = "fleet.spawn"
+	// FleetCollect fires when a worker has exited and its manifest is
+	// about to be decoded. Error mode discards the attempt's output, as
+	// a torn pipe would.
+	FleetCollect = "fleet.collect"
+	// FleetVerify fires before a decoded shard manifest's provenance is
+	// recomputed. Error mode fails the attempt before verification, so
+	// the shard retries on a fresh worker.
+	FleetVerify = "fleet.verify"
 )
 
 // Points returns the injection-point catalog, sorted.
@@ -120,6 +132,7 @@ func Points() []string {
 		IngestFeed, IngestFrame, IngestSeal,
 		StoreRead, StoreWrite, StoreRename,
 		ServiceAdmit, ServiceRun, ServiceRender,
+		FleetSpawn, FleetCollect, FleetVerify,
 	}
 	sort.Strings(pts)
 	return pts

@@ -21,6 +21,7 @@ import (
 //	GET /v1/experiments            the registry: [{"name","title"}, ...]
 //	GET /v1/run?run=a,b&scale=s    run a selection, return its results
 //	GET /v1/stats                  engine + tier + service snapshots
+//	GET /v1/metrics                the same snapshots as Prometheus text
 //
 // /v1/run parameters mirror the offline CLI flags: `run` is the
 // comma-separated experiment selection ("" or "all" selects the whole
@@ -55,6 +56,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
 

@@ -78,7 +78,8 @@ type Service struct {
 	tenants   map[string]*Session
 	runs      map[string]*runCall // in-flight coalescable runs by selection key
 	closed    bool
-	beforeRun func(key string) // test hook: called by the run leader before admission
+	beforeRun func(key string)                                    // test hook: called by the run leader before admission
+	afterRun  func(key string, rep *engine.PassReport, err error) // test hook: called with the leader's outcome before done closes
 
 	// Counters (atomic; snapshot with Stats).
 	requests      atomic.Uint64 // runs requested across all sessions
@@ -231,7 +232,8 @@ func (sess *Session) Run(ctx context.Context, scale experiments.Scale, names ...
 		s.runs[key] = c
 		s.runsStarted.Add(1)
 		hook := s.beforeRun
-		go s.execute(base, c, sess, key, scale, names, hook)
+		after := s.afterRun
+		go s.execute(base, c, sess, key, scale, names, hook, after)
 	}
 	s.mu.Unlock()
 
@@ -265,11 +267,14 @@ func (s *Service) leave(key string, c *runCall) {
 // publishes the outcome to every waiter. The call is deregistered
 // before done is closed, so a request arriving after completion starts
 // a fresh run — the coalescing window is exactly the in-flight window.
-func (s *Service) execute(ctx context.Context, c *runCall, sess *Session, key string, scale experiments.Scale, names []string, hook func(string)) {
+func (s *Service) execute(ctx context.Context, c *runCall, sess *Session, key string, scale experiments.Scale, names []string, hook func(string), after func(string, *engine.PassReport, error)) {
 	defer func() {
 		s.mu.Lock()
 		delete(s.runs, key)
 		s.mu.Unlock()
+		if after != nil {
+			after(key, c.rep, c.err)
+		}
 		close(c.done)
 		c.cancel()
 	}()

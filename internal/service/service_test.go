@@ -10,7 +10,43 @@ import (
 	"memotable/internal/engine"
 	"memotable/internal/experiments"
 	"memotable/internal/report"
+	"memotable/internal/trace"
 )
+
+// The cancellation tests need a capture they can hold mid-flight. A
+// test-only experiment is registered for that: its single workload
+// signals blockStarted and then parks on blockRelease (when armed).
+// Registering here is safe — the registry-length assertions elsewhere
+// in this package compare against the same live registry.
+var (
+	blockStarted chan struct{}
+	blockRelease chan struct{}
+)
+
+func init() {
+	experiments.Register(experiments.Experiment{
+		Name:  "svc_block_test",
+		Title: "service test: capture that blocks until released",
+		Plan: func(*experiments.Context) experiments.Plan {
+			var ctr trace.Counter
+			w := experiments.Workload{
+				Key: "svc|block",
+				Capture: func(trace.Sink) {
+					if blockStarted != nil {
+						blockStarted <- struct{}{}
+						<-blockRelease
+					}
+				},
+			}
+			return experiments.Plan{
+				Demands: []experiments.Demand{{Sinks: []trace.Sink{&ctr}, Workloads: []experiments.Workload{w}}},
+				Finish: func() *report.Result {
+					return report.NewScalar("svc_block_test", report.Str("done"), "")
+				},
+			}
+		},
+	})
+}
 
 // waitUntil polls cond for up to 5s — the synchronization tests use it
 // to observe counters that goroutines advance.
@@ -188,6 +224,56 @@ func TestTenantBudgetDegradation(t *testing.T) {
 	}
 	if got := eng.Stats().CachedTraces; got != cached {
 		t.Fatalf("starved tenant disturbed the cache: %d entries, was %d", got, cached)
+	}
+}
+
+// TestLastWaiterCancelReachesEnginePass pins the coalescing teardown
+// contract: when the last (here, only) waiter on a run abandons it, the
+// leader goroutine outlives the request — and its context must actually
+// be canceled, so the engine pass stops at its next cooperative check
+// instead of running the rest of the selection for nobody. The capture
+// is held mid-flight while the waiter leaves, then released; the pass
+// report the leader publishes must be marked Canceled.
+func TestLastWaiterCancelReachesEnginePass(t *testing.T) {
+	svc := New(engine.New(2), Config{MaxInflight: 2})
+	defer svc.Close()
+
+	blockStarted = make(chan struct{})
+	blockRelease = make(chan struct{})
+	defer func() { blockStarted, blockRelease = nil, nil }()
+
+	type outcome struct {
+		rep *engine.PassReport
+		err error
+	}
+	after := make(chan outcome, 1)
+	svc.afterRun = func(_ string, rep *engine.PassReport, err error) { after <- outcome{rep, err} }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() {
+		_, _, err := svc.Session("a").Run(ctx, experiments.Tiny, "svc_block_test")
+		runDone <- err
+	}()
+
+	<-blockStarted // the leader's pass is inside the capture
+	cancel()       // the only waiter gives up on the run
+
+	if err := <-runDone; !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("abandoned request returned %v, want engine.ErrCanceled", err)
+	}
+	// Run returning means leave() saw the last waiter out and called the
+	// run's cancel. The leader is still parked in the capture; release it
+	// and the pass must observe the cancellation, not keep executing.
+	close(blockRelease)
+
+	out := <-after
+	if out.err != nil {
+		t.Fatalf("leader finished with error %v, want a canceled report", out.err)
+	}
+	if out.rep == nil || !out.rep.Canceled {
+		t.Fatalf("last waiter's cancel did not reach the engine pass: report %+v", out.rep)
 	}
 }
 

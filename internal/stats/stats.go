@@ -117,15 +117,25 @@ func (h *Histogram) Distinct() int { return len(h.counts) }
 //
 //	E = -sum p_k * log2(p_k)
 //
-// the paper's image-entropy measure (§3.2).
+// the paper's image-entropy measure (§3.2). The summation runs in
+// sorted value order, not map order: float addition is not
+// associative, and randomized map iteration used to wiggle the low
+// bits from run to run — harmless at the text renderer's two decimals,
+// but fatal for the fleet layer, which promises full-precision JSON
+// byte-identical across process splits.
 func (h *Histogram) Entropy() float64 {
 	if h.total == 0 {
 		return 0
 	}
+	vals := make([]float64, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
 	var e float64
 	n := float64(h.total)
-	for _, c := range h.counts {
-		p := float64(c) / n
+	for _, v := range vals {
+		p := float64(h.counts[v]) / n
 		e -= p * math.Log2(p)
 	}
 	return e

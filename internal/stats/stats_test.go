@@ -125,3 +125,38 @@ func TestEntropyBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHistogramEntropyBitExactAcrossInsertionOrders pins that Entropy
+// is a pure function of the distribution, to the last bit: float
+// addition is not associative, so the summation must not follow map
+// iteration order. The fleet layer depends on this — shard output is
+// byte-compared against single-process output at full JSON precision.
+func TestHistogramEntropyBitExactAcrossInsertionOrders(t *testing.T) {
+	// A value set with ragged counts so partial sums differ by order.
+	build := func(order []int) *Histogram {
+		h := NewHistogram()
+		for _, v := range order {
+			for k := 0; k <= v%7; k++ {
+				h.Add(1.0 / float64(v+1))
+			}
+		}
+		return h
+	}
+	fwd := make([]int, 300)
+	for i := range fwd {
+		fwd[i] = i
+	}
+	rev := make([]int, len(fwd))
+	for i := range rev {
+		rev[i] = len(fwd) - 1 - i
+	}
+	want := build(fwd).Entropy()
+	for trial := 0; trial < 50; trial++ {
+		if got := build(rev).Entropy(); got != want {
+			t.Fatalf("entropy depends on construction order: %.17g vs %.17g", got, want)
+		}
+		if got := build(fwd).Entropy(); got != want {
+			t.Fatalf("entropy differs across identical rebuilds: trial %d", trial)
+		}
+	}
+}

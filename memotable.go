@@ -30,9 +30,11 @@ import (
 
 	"memotable/internal/engine"
 	"memotable/internal/experiments"
+	"memotable/internal/fleet"
 	"memotable/internal/isa"
 	"memotable/internal/memo"
 	"memotable/internal/probe"
+	"memotable/internal/provenance"
 	"memotable/internal/report"
 	"memotable/internal/service"
 	"memotable/internal/trace"
@@ -409,3 +411,30 @@ func NewService(eng *Engine, cfg ServiceConfig) *Service { return service.New(en
 // ErrAdmission marks a request refused by the service's admission
 // control: queue full, or no engine slot freed within the max wait.
 var ErrAdmission = service.ErrAdmission
+
+// FleetConfig shapes a sharded fleet run (`memosim -shards`): the worker
+// executable, the shard count, the selection, and the supervision knobs
+// (per-attempt timeout, bounded jittered retries).
+type FleetConfig = fleet.Config
+
+// FleetReport is a completed fleet run: per-shard outcomes plus the
+// combined provenance root. Its merge methods reassemble output
+// byte-identical to a single-process run for every clean cell.
+type FleetReport = fleet.Report
+
+// ShardManifest is one worker's verified output: its assignment, its
+// rendered result cells, and the hash chain binding them.
+type ShardManifest = fleet.Manifest
+
+// RunFleet executes a selection across supervised worker subprocesses
+// and returns the merged, provenance-verified report. Shard failures
+// degrade their own cells; the error return is reserved for
+// misconfiguration.
+func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetReport, error) {
+	return fleet.Run(ctx, cfg)
+}
+
+// ErrProvenance marks fleet worker output that failed provenance
+// verification — a tampered result cell, a dropped trace fingerprint, a
+// stale shard assignment, or a forged root. Classify with errors.Is.
+var ErrProvenance = provenance.ErrProvenance
